@@ -1,0 +1,71 @@
+"""Ablation: per-axis decomposition of end-to-end instability.
+
+Not a paper table, but the design question §8 answers qualitatively:
+how much instability does each capture axis contribute? We build fleets
+identical to the Galaxy S10 on every axis except one (sensor hardware /
+vendor ISP / save codec), plus a fully-identical fleet (the temporal
+noise floor), and compare to the real heterogeneous fleet.
+
+Paper takeaways to reproduce: ISP and codec axes each contribute
+multi-percent instability; the floor (same phone, fresh shutter) is much
+smaller; the full fleet exceeds any single axis.
+"""
+
+from dataclasses import replace
+
+from repro.core import format_percent, instability
+from repro.devices.profiles import capture_fleet
+from repro.lab import EndToEndExperiment
+
+from .conftest import run_once
+
+
+def _variant_fleet(axis):
+    fleet = capture_fleet()
+    base = fleet[0]
+    out = []
+    for p in fleet:
+        kwargs = {}
+        if axis != "sensor":
+            kwargs["sensor"] = base.sensor
+        if axis != "isp":
+            kwargs["isp"] = base.isp
+        if axis != "codec":
+            kwargs["save_format"] = base.save_format
+            kwargs["save_quality"] = base.save_quality
+        out.append(replace(p, **kwargs))
+    return out
+
+
+def test_ablation_instability_by_axis(benchmark, base_model):
+    def run_all():
+        results = {}
+        for axis in ("none", "sensor", "isp", "codec", "all"):
+            phones = (
+                capture_fleet() if axis == "all" else _variant_fleet(axis)
+            )
+            result = EndToEndExperiment(
+                phones=phones, model=base_model, seed=0
+            ).run(per_class=6)
+            results[axis] = instability(result)
+        return results
+
+    results = run_once(benchmark, run_all)
+
+    print("\n=== Ablation: instability contribution per capture axis ===")
+    labels = {
+        "none": "identical phones (temporal-noise floor)",
+        "sensor": "sensor hardware only",
+        "isp": "vendor ISP only",
+        "codec": "save codec only",
+        "all": "full heterogeneous fleet",
+    }
+    for axis, inst in results.items():
+        print(f"  {labels[axis]:42s}: {format_percent(inst)}")
+
+    # Shape: floor is the smallest; every axis adds on top of it; the
+    # full fleet is the largest.
+    assert results["none"] <= min(results["sensor"], results["isp"], results["codec"])
+    assert results["all"] >= max(results["sensor"], results["isp"], results["codec"]) - 0.02
+    assert results["isp"] > results["none"]
+    assert results["codec"] > results["none"] - 1e-9

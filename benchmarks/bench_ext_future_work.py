@@ -1,0 +1,39 @@
+"""Extension: the paper's §11 future-work axes, quantified.
+
+The paper names lighting conditions and camera/lens variation as
+instability sources beyond its scope. The simulator measures them:
+instability across lighting conditions on one phone, and across
+manufacturing units of one phone model.
+"""
+
+from repro.core import format_percent, instability
+from repro.lab import LensVariationExperiment, LightingVariationExperiment
+
+from .conftest import run_once
+
+
+def test_ext_lighting_and_lens_variation(benchmark, base_model):
+    def run_both():
+        lighting = LightingVariationExperiment(model=base_model, seed=0).run(
+            per_class=8
+        )
+        lens = LensVariationExperiment(model=base_model, units=4, seed=0).run(
+            per_class=8
+        )
+        return lighting, lens
+
+    lighting, lens = run_once(benchmark, run_both)
+
+    print("\n=== Extension (§11 future work): other instability sources ===")
+    print(
+        f"  lighting conditions (dim/nominal/bright, one phone): "
+        f"{format_percent(instability(lighting))}"
+    )
+    print(
+        f"  lens manufacturing tolerance (4 units, one model):   "
+        f"{format_percent(instability(lens))}"
+    )
+
+    # Both axes produce measurable, bounded instability.
+    assert 0.0 <= instability(lighting) <= 0.6
+    assert 0.0 <= instability(lens) <= 0.4

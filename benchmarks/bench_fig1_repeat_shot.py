@@ -1,0 +1,30 @@
+"""Figure 1: two photos seconds apart on one phone can flip the label.
+
+Paper: a Galaxy S10 photographed a water bottle twice without moving;
+one shot classified "bubble", the other "water bottle", with under 5% of
+pixels differing by more than 5%.
+"""
+
+from repro.lab import repeat_shot_demo
+from repro.scenes.objects import ALL_CLASSES
+
+from .conftest import run_once
+
+
+def test_fig1_repeat_shot_divergence(benchmark, base_model):
+    outcome = run_once(
+        benchmark, lambda: repeat_shot_demo(model=base_model, seed=0, max_scenes=80, pairs_per_scene=4)
+    )
+    print("\n=== Figure 1: repeat-shot divergence (Galaxy S10) ===")
+    print(f"shot 1: {ALL_CLASSES[outcome.first_label]} (conf {outcome.first_confidence:.2f})")
+    print(f"shot 2: {ALL_CLASSES[outcome.second_label]} (conf {outcome.second_confidence:.2f})")
+    print(f"true class: {ALL_CLASSES[outcome.true_label]}")
+    print(f"labels diverged: {outcome.diverged}")
+    print(
+        f"pixels differing > 5%: {outcome.diff.divergent_fraction * 100:.2f}% "
+        f"(mean abs diff {outcome.diff.mean_abs_diff * 255:.2f}/255)"
+    )
+    # Paper shape: a divergent pair exists, and the pixel difference that
+    # caused it is small.
+    assert outcome.diverged
+    assert outcome.diff.divergent_fraction < 0.5

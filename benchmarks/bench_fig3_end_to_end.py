@@ -1,0 +1,60 @@
+"""Figure 3: end-to-end accuracy and instability across the five phones.
+
+Paper: accuracy roughly flat per phone (59-64%); cross-phone instability
+~15% for most classes with large per-class variance; instability varies
+somewhat by angle; within-phone instability is much lower than
+cross-phone.
+"""
+
+import numpy as np
+
+from repro.core import (
+    format_percent,
+    instability,
+    per_angle_instability,
+    per_class_instability,
+    per_environment_accuracy,
+    within_environment_instability,
+)
+from repro.lab import EndToEndExperiment
+
+from .conftest import run_once
+
+
+def test_fig3_end_to_end(benchmark, base_model):
+    result = run_once(
+        benchmark,
+        lambda: EndToEndExperiment(model=base_model, seed=0).run(per_class=8),
+    )
+
+    print("\n=== Figure 3(a): accuracy by phone (paper: 59-64%, flat) ===")
+    accs = per_environment_accuracy(result)
+    for phone, acc in accs.items():
+        print(f"  {phone}: {format_percent(acc)}")
+
+    overall = instability(result)
+    print(f"\n=== Figure 3(b): instability by class (paper: ~15%) ===")
+    print(f"  OVERALL: {format_percent(overall)}")
+    per_class = per_class_instability(result)
+    for cls, inst in per_class.items():
+        print(f"  {cls}: {format_percent(inst)}")
+
+    print("\n=== Figure 3(c): instability by angle ===")
+    for angle, inst in per_angle_instability(result).items():
+        print(f"  {angle:+.0f} deg: {format_percent(inst)}")
+
+    print("\n=== Figure 3(d): within-phone instability (much lower) ===")
+    within = within_environment_instability(result)
+    for phone, inst in within.items():
+        print(f"  {phone}: {format_percent(inst)}")
+
+    # Shape assertions.
+    acc_values = np.array(list(accs.values()))
+    assert acc_values.max() - acc_values.min() < 0.12, "accuracy should be flat"
+    assert 0.08 < overall < 0.30, "cross-phone instability in the paper's regime"
+    assert max(per_class.values()) > 2 * min(per_class.values()) or min(per_class.values()) == 0, (
+        "per-class variance should be large"
+    )
+    assert np.mean(list(within.values())) < overall, (
+        "within-phone instability must be lower than cross-phone"
+    )

@@ -1,0 +1,32 @@
+"""Figure 4: prediction confidence for stable vs. unstable images.
+
+Paper: on stable images, correct predictions are high-confidence and
+incorrect ones lower; on unstable images the correct and incorrect
+sides have nearly identical (low) confidence — the flips happen where
+the model was unsure anyway.
+"""
+
+import numpy as np
+
+from repro.core import confidence_analysis
+
+from .conftest import run_once
+
+
+def test_fig4_confidence_distributions(benchmark, end_to_end_result):
+    split = run_once(benchmark, lambda: confidence_analysis(end_to_end_result))
+    summary = split.summary()
+
+    print("\n=== Figure 4: confidence by stability group (mean ± std) ===")
+    for group, (mean, std) in summary.items():
+        n = len(getattr(split, group))
+        print(f"  {group:18s}: {mean:.3f} ± {std:.3f}  (n={n})")
+
+    sc_mean = summary["stable_correct"][0]
+    uc_mean = summary["unstable_correct"][0]
+    ui_mean = summary["unstable_incorrect"][0]
+
+    # Shape: stable-correct is the most confident group; the two unstable
+    # sides sit close together and below stable-correct.
+    assert sc_mean > uc_mean
+    assert abs(uc_mean - ui_mean) < 0.25

@@ -1,0 +1,68 @@
+"""Substrate micro-benchmarks: codec and pipeline throughput.
+
+Classic pytest-benchmark timings for the building blocks every
+experiment leans on. Useful for catching performance regressions in the
+vectorized NumPy paths (DCT, Huffman, demosaic, CNN inference).
+"""
+
+import numpy as np
+import pytest
+
+from repro.codecs import get_codec
+from repro.devices import Phone, capture_fleet
+from repro.imaging import ImageBuffer
+from repro.isp import build_isp
+from repro.nn.preprocess import to_model_input
+from repro.sensor import BayerSensor, SensorConfig
+
+
+@pytest.fixture(scope="module")
+def test_image():
+    from scipy import ndimage
+
+    rng = np.random.default_rng(0)
+    img = ndimage.gaussian_filter(rng.random((96, 96, 3)), (3, 3, 0))
+    img = (img - img.min()) / (img.max() - img.min())
+    return ImageBuffer(img.astype(np.float32))
+
+
+@pytest.fixture(scope="module")
+def test_raw(test_image):
+    sensor = BayerSensor(SensorConfig(resolution=(96, 96)))
+    return sensor.capture(test_image, np.random.default_rng(0))
+
+
+@pytest.mark.parametrize("fmt", ["jpeg", "png", "webp", "heif"])
+def test_codec_encode_throughput(benchmark, test_image, fmt):
+    codec = get_codec(fmt)
+    if codec.default_quality is None:
+        benchmark(codec.encode, test_image)
+    else:
+        benchmark(codec.encode, test_image, quality=codec.default_quality)
+
+
+@pytest.mark.parametrize("fmt", ["jpeg", "png", "webp", "heif"])
+def test_codec_decode_throughput(benchmark, test_image, fmt):
+    codec = get_codec(fmt)
+    if codec.default_quality is None:
+        data = codec.encode(test_image)
+    else:
+        data = codec.encode(test_image, quality=codec.default_quality)
+    benchmark(codec.decode, data)
+
+
+@pytest.mark.parametrize("isp", ["imagemagick", "samsung_s10", "adobe"])
+def test_isp_throughput(benchmark, test_raw, isp):
+    pipeline = build_isp(isp)
+    benchmark(pipeline.process, test_raw)
+
+
+def test_full_capture_path_throughput(benchmark, test_image):
+    phone = Phone(capture_fleet()[0])
+    rng = np.random.default_rng(0)
+    benchmark(phone.photograph, test_image, rng)
+
+
+def test_model_inference_throughput(benchmark, base_model, test_image):
+    x = to_model_input([test_image] * 32)
+    benchmark(base_model.predict_proba, x)

@@ -1,0 +1,43 @@
+"""Table 2: JPEG quality 100 / 85 / 50 — size, accuracy, instability.
+
+Paper: sizes 3.05 / 0.65 / 0.25 MB; accuracy ~54% and essentially flat
+(higher compression even slightly better); instability across qualities
+7.6%.
+"""
+
+import numpy as np
+
+from repro.core import format_percent, format_table
+from repro.lab import CompressionQualityExperiment
+
+from .conftest import run_once
+
+
+def test_table2_jpeg_quality(benchmark, base_model, raw_bank):
+    out = run_once(
+        benchmark,
+        lambda: CompressionQualityExperiment(model=base_model).run(raw_bank),
+    )
+    accs = out.accuracy_by_environment()
+    inst = out.instability()
+
+    print("\n=== Table 2: JPEG quality (paper: 3.05/0.65/0.25 MB, acc ~54%, inst 7.6%) ===")
+    rows = [
+        [
+            env,
+            f"{out.avg_size_bytes[env] / 1024:.1f} KiB",
+            f"{out.avg_size_mb_scaled[env]:.2f} MB @12MP",
+            format_percent(accs[env]),
+        ]
+        for env in ("jpeg-q100", "jpeg-q85", "jpeg-q50")
+    ]
+    print(format_table(["quality", "avg size", "scaled size", "accuracy"], rows))
+    print(f"instability across qualities: {format_percent(inst)}")
+
+    # Shape: size strictly decreasing with quality; accuracy roughly flat;
+    # instability noticeable despite flat accuracy.
+    sizes = [out.avg_size_bytes[e] for e in ("jpeg-q100", "jpeg-q85", "jpeg-q50")]
+    assert sizes[0] > sizes[1] > sizes[2]
+    acc_values = np.array(list(accs.values()))
+    assert acc_values.max() - acc_values.min() < 0.06
+    assert 0.02 < inst < 0.20

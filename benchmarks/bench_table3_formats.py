@@ -1,0 +1,43 @@
+"""Table 3: JPEG / PNG / WebP / HEIF at default settings.
+
+Paper: sizes 1.54 / 6.49 / 0.29 / 0.57 MB; accuracy flat (53.9-55.2%);
+instability across formats 9.66%.
+"""
+
+import numpy as np
+
+from repro.core import format_percent, format_table
+from repro.lab import CompressionFormatExperiment
+
+from .conftest import run_once
+
+
+def test_table3_compression_formats(benchmark, base_model, raw_bank):
+    out = run_once(
+        benchmark,
+        lambda: CompressionFormatExperiment(model=base_model).run(raw_bank),
+    )
+    accs = out.accuracy_by_environment()
+    inst = out.instability()
+
+    print("\n=== Table 3: formats (paper: JPEG 1.54 / PNG 6.49 / WebP 0.29 / HEIF 0.57 MB, inst 9.66%) ===")
+    rows = [
+        [
+            fmt,
+            f"{out.avg_size_bytes[fmt] / 1024:.1f} KiB",
+            f"{out.avg_size_mb_scaled[fmt]:.2f} MB @12MP",
+            format_percent(accs[fmt]),
+        ]
+        for fmt in ("jpeg", "png", "webp", "heif")
+    ]
+    print(format_table(["format", "avg size", "scaled size", "accuracy"], rows))
+    print(f"instability across formats: {format_percent(inst)}")
+
+    # Shape: PNG (lossless) is by far the largest; the lossy formats are
+    # several times smaller; accuracy flat; instability exceeds the
+    # quality-only axis (Table 2) because artefacts differ in kind.
+    assert out.avg_size_bytes["png"] > 3 * out.avg_size_bytes["jpeg"]
+    assert out.avg_size_bytes["heif"] < out.avg_size_bytes["jpeg"]
+    acc_values = np.array(list(accs.values()))
+    assert acc_values.max() - acc_values.min() < 0.06
+    assert 0.03 < inst < 0.25

@@ -1,0 +1,41 @@
+"""§7 / Table 5: the OS-and-processor experiment on the Firebase fleet.
+
+Paper: pushing identical image files to five phones with different SoCs
+yields only 0.64% instability on JPEG; the divergence traces to two OS
+JPEG-decoder camps (Huawei+Xiaomi vs. the rest — different pixel-buffer
+MD5s), and vanishes entirely on PNG.
+"""
+
+from repro.core import format_percent
+from repro.lab import FirebaseTestLab
+
+from .conftest import run_once
+
+
+def test_table5_os_processor(benchmark, base_model):
+    lab = FirebaseTestLab(model=base_model, seed=0)
+
+    def run_both():
+        return (
+            lab.run(num_photos=150, image_format="jpeg"),
+            lab.run(num_photos=150, image_format="png"),
+        )
+
+    jpeg_out, png_out = run_once(benchmark, run_both)
+
+    print("\n=== §7: OS/processor (paper: jpeg 0.64%, png 0.00%) ===")
+    print(f"  JPEG instability: {format_percent(jpeg_out.instability())}")
+    print(f"  PNG instability:  {format_percent(png_out.instability())}")
+    print("  JPEG decode-hash camps:")
+    for group, devices in jpeg_out.hash_groups().items():
+        print(f"    {group}: {', '.join(devices)}")
+    print(f"  PNG decode-hash camps: {len(png_out.hash_groups())}")
+
+    # Shape: tiny-but-nonzero JPEG instability, exactly two JPEG hash
+    # camps with Huawei+Xiaomi together, zero PNG instability, one PNG camp.
+    assert 0.0 <= jpeg_out.instability() < 0.05
+    assert png_out.instability() == 0.0
+    camps = sorted(jpeg_out.hash_groups().values(), key=len)
+    assert len(camps) == 2
+    assert camps[0] == ["huawei_mate_rs", "xiaomi_mi_8_pro"]
+    assert len(png_out.hash_groups()) == 1

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reuses one calibrated base model (trained once, cached on
+disk under ``.cache/repro/``) and, where possible, shared experiment
+artifacts — mirroring the paper, which evaluates a single fixed-weight
+MobileNetV2 across all experiments.
+
+Run with ``pytest benchmarks/ --benchmark-only``. Each benchmark times
+one full experiment (rounds=1) and prints the reproduced table/figure
+rows next to the paper's numbers.
+"""
+
+import pytest
+
+from repro.lab import EndToEndExperiment, RawCaptureBank
+from repro.nn import load_pretrained
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (experiments are minutes-scale)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def base_model():
+    """The shared pretrained classifier (trains ~4 min on first ever run)."""
+    return load_pretrained()
+
+
+@pytest.fixture(scope="session")
+def end_to_end_result(base_model):
+    """One full §4 run shared by the Fig. 3 / Fig. 4 / Fig. 9 benches."""
+    experiment = EndToEndExperiment(model=base_model, seed=0)
+    return experiment.run(per_class=8)
+
+
+@pytest.fixture(scope="session")
+def raw_bank():
+    """Raw captures shared by the Table 2 / 3 / 4 benches (§5-§6)."""
+    return RawCaptureBank.collect(per_class=10, seed=0)

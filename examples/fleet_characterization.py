@@ -1,0 +1,55 @@
+"""Characterize a phone fleet: the paper's §4 study in miniature.
+
+Runs the end-to-end experiment (every scene, every angle, every phone),
+then prints the analyses behind Figure 3 and Figure 4: accuracy per
+phone, instability overall / per class / per angle / within-phone, and
+the confidence structure of stable vs. unstable images.
+
+Run:  python examples/fleet_characterization.py [per_class]
+"""
+
+import sys
+
+from repro.core import (
+    confidence_analysis,
+    format_percent,
+    instability,
+    per_angle_instability,
+    per_class_instability,
+    per_environment_accuracy,
+    within_environment_instability,
+)
+from repro.lab import EndToEndExperiment
+from repro.nn import load_pretrained
+
+
+def main(per_class: int = 6) -> None:
+    print(f"Running the end-to-end experiment (per_class={per_class})...")
+    model = load_pretrained(verbose=True)
+    result = EndToEndExperiment(model=model, seed=0).run(per_class=per_class)
+    print(f"collected {len(result)} prediction records\n")
+
+    print("accuracy by phone (paper Fig. 3a — flat, so accuracy hides the problem):")
+    for phone, acc in per_environment_accuracy(result).items():
+        print(f"  {phone}: {format_percent(acc)}")
+
+    print(f"\ncross-phone instability (paper Fig. 3b): {format_percent(instability(result))}")
+    print("by class:")
+    for cls, inst in per_class_instability(result).items():
+        print(f"  {cls}: {format_percent(inst)}")
+
+    print("\nby angle (paper Fig. 3c):")
+    for angle, inst in per_angle_instability(result).items():
+        print(f"  {angle:+.0f} deg: {format_percent(inst)}")
+
+    print("\nwithin-phone instability (paper Fig. 3d — lower than cross-phone):")
+    for phone, inst in within_environment_instability(result).items():
+        print(f"  {phone}: {format_percent(inst)}")
+
+    print("\nconfidence by stability group (paper Fig. 4):")
+    for group, (mean, std) in confidence_analysis(result).summary().items():
+        print(f"  {group}: {mean:.3f} +/- {std:.3f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 6)

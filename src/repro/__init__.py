@@ -1,0 +1,23 @@
+"""repro — reproduction of *Characterizing and Taming Model Instability
+Across Edge Devices* (Cidon et al., MLSys 2021).
+
+The package simulates the paper's entire measurement substrate — synthetic
+scenes, camera sensors, per-vendor ISPs, compression codecs, phone device
+models, and a NumPy CNN — and implements the paper's contribution on top of
+it: the *instability* metric, the end-to-end characterization experiments,
+and the three mitigation strategies (stability training, raw-image
+inference, top-k task simplification).
+
+Quick start::
+
+    from repro.lab import EndToEndExperiment
+    from repro.devices import capture_fleet
+
+    experiment = EndToEndExperiment(phones=capture_fleet(), seed=0)
+    result = experiment.run(num_objects=40)
+    print(result.summary())
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

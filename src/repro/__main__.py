@@ -1,0 +1,174 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro end-to-end --per-class 8 --save results.json
+    python -m repro firebase --format jpeg --photos 100
+    python -m repro compression --per-class 10
+    python -m repro isp --per-class 10
+    python -m repro raw-vs-jpeg --per-class 10
+    python -m repro stability --per-class 12 --epochs 6
+
+Each command trains/loads the shared base model (cached after the first
+run), executes the experiment deterministically, and prints the same
+report the corresponding benchmark does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import (
+    confidence_analysis,
+    format_percent,
+    format_table,
+    instability,
+    per_class_instability,
+    per_environment_accuracy,
+)
+from .core.serialize import save_result
+
+
+def _cmd_end_to_end(args) -> None:
+    from .lab import EndToEndExperiment
+
+    result = EndToEndExperiment(seed=args.seed).run(per_class=args.per_class)
+    print("accuracy by phone:")
+    for phone, acc in per_environment_accuracy(result).items():
+        print(f"  {phone}: {format_percent(acc)}")
+    print(f"instability: {format_percent(instability(result))}")
+    for cls, inst in per_class_instability(result).items():
+        print(f"  {cls}: {format_percent(inst)}")
+    split = confidence_analysis(result).summary()
+    print("confidence (mean, std) by stability group:")
+    for group, (mean, std) in split.items():
+        print(f"  {group}: {mean:.3f}, {std:.3f}")
+    if args.save:
+        save_result(result, args.save)
+        print(f"records saved to {args.save}")
+
+
+def _cmd_firebase(args) -> None:
+    from .lab import FirebaseTestLab
+
+    out = FirebaseTestLab(seed=args.seed).run(
+        num_photos=args.photos, image_format=args.format
+    )
+    print(f"instability ({args.format}): {format_percent(out.instability())}")
+    for group, devices in out.hash_groups().items():
+        print(f"  {group}: {', '.join(devices)}")
+    if args.save:
+        save_result(out.result, args.save)
+        print(f"records saved to {args.save}")
+
+
+def _cmd_compression(args) -> None:
+    from .lab import (
+        CompressionFormatExperiment,
+        CompressionQualityExperiment,
+        RawCaptureBank,
+    )
+
+    bank = RawCaptureBank.collect(per_class=args.per_class, seed=args.seed)
+    quality = CompressionQualityExperiment().run(bank)
+    formats = CompressionFormatExperiment().run(bank)
+    for label, out in (("quality", quality), ("formats", formats)):
+        accs = out.accuracy_by_environment()
+        rows = [
+            [env, f"{out.avg_size_bytes[env] / 1024:.1f} KiB", format_percent(accs[env])]
+            for env in out.avg_size_bytes
+        ]
+        print(f"--- {label} ---")
+        print(format_table(["environment", "avg size", "accuracy"], rows))
+        print(f"instability: {format_percent(out.instability())}\n")
+
+
+def _cmd_isp(args) -> None:
+    from .lab import ISPComparisonExperiment, RawCaptureBank
+
+    bank = RawCaptureBank.collect(per_class=args.per_class, seed=args.seed)
+    out = ISPComparisonExperiment().run(bank)
+    for isp, acc in out.accuracy_by_isp().items():
+        print(f"{isp} accuracy: {format_percent(acc)}")
+    print(f"instability: {format_percent(out.instability())}")
+
+
+def _cmd_raw_vs_jpeg(args) -> None:
+    from .lab import RawVsJpegExperiment
+
+    out = RawVsJpegExperiment(seed=args.seed).run(per_class=args.per_class)
+    print(f"JPEG-path instability: {format_percent(out.instability_jpeg())}")
+    print(f"raw-path instability:  {format_percent(out.instability_raw())}")
+    print(f"relative improvement:  {format_percent(out.relative_improvement())}")
+
+
+def _cmd_stability(args) -> None:
+    from .mitigation import build_stability_corpus, run_table6
+    from .nn import load_pretrained
+
+    corpus = build_stability_corpus(per_class=args.per_class, seed=args.seed)
+    rows = run_table6(load_pretrained(), corpus, epochs=args.epochs, seed=args.seed)
+    print(
+        format_table(
+            ["noise", "loss", "alpha", "instability", "accuracy"],
+            [
+                [r.noise, r.stability_loss, r.alpha,
+                 format_percent(r.instability), format_percent(r.accuracy)]
+                for r in rows
+            ],
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the MLSys 2021 model-instability experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--per-class", type=int, default=8, dest="per_class")
+        p.add_argument("--save", type=str, default=None, help="save records as JSON")
+
+    p = sub.add_parser("end-to-end", help="the §4 five-phone study")
+    common(p)
+    p.set_defaults(func=_cmd_end_to_end)
+
+    p = sub.add_parser("firebase", help="the §7 OS/processor experiment")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--photos", type=int, default=100)
+    p.add_argument("--format", choices=("jpeg", "png"), default="jpeg")
+    p.add_argument("--save", type=str, default=None)
+    p.set_defaults(func=_cmd_firebase)
+
+    p = sub.add_parser("compression", help="Tables 2 and 3")
+    common(p)
+    p.set_defaults(func=_cmd_compression)
+
+    p = sub.add_parser("isp", help="Table 4")
+    common(p)
+    p.set_defaults(func=_cmd_isp)
+
+    p = sub.add_parser("raw-vs-jpeg", help="Figure 8 / §9.2")
+    common(p)
+    p.set_defaults(func=_cmd_raw_vs_jpeg)
+
+    p = sub.add_parser("stability", help="Table 6 / §9.1")
+    common(p)
+    p.add_argument("--epochs", type=int, default=6)
+    p.set_defaults(func=_cmd_stability)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Image compression codecs implemented from scratch.
+
+``jpeg`` is a real baseline JFIF codec (DCT + Annex K tables + Huffman);
+``png`` is a real lossless PNG (filters + DEFLATE + CRC); ``webp`` and
+``heif`` are architecture-faithful stand-ins for VP8-intra and HEVC-intra
+respectively; ``dng`` losslessly containers raw Bayer mosaics for the raw
+inference mitigation path.
+"""
+
+from .dng import decode_dng, encode_dng
+from .heif import decode_heif, encode_heif
+from .jpeg import (
+    JpegDecodeOptions,
+    decode_jpeg,
+    encode_jpeg,
+    quality_scaled_tables,
+)
+from .png import decode_png, encode_png
+from .registry import (
+    Codec,
+    available_codecs,
+    decode_any,
+    get_codec,
+    register_codec,
+    sniff_format,
+)
+from .webp import decode_webp, encode_webp
+
+__all__ = [
+    "Codec",
+    "JpegDecodeOptions",
+    "available_codecs",
+    "decode_any",
+    "decode_dng",
+    "decode_heif",
+    "decode_jpeg",
+    "decode_png",
+    "decode_webp",
+    "encode_dng",
+    "encode_heif",
+    "encode_jpeg",
+    "encode_png",
+    "encode_webp",
+    "get_codec",
+    "quality_scaled_tables",
+    "register_codec",
+    "sniff_format",
+]

@@ -1,0 +1,120 @@
+"""Bit-level I/O used by the entropy coders.
+
+``BitWriter``/``BitReader`` operate MSB-first, matching the JPEG bitstream
+convention. The JPEG-specific 0xFF byte-stuffing lives here too, controlled
+by a flag, so the Huffman layer stays format-agnostic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a byte buffer.
+
+    Parameters
+    ----------
+    stuff_ff:
+        When True, every emitted ``0xFF`` byte is followed by a ``0x00``
+        stuffing byte, as required inside a JPEG entropy-coded segment.
+    """
+
+    def __init__(self, stuff_ff: bool = False) -> None:
+        self._buffer = bytearray()
+        self._accum = 0
+        self._nbits = 0
+        self._stuff_ff = stuff_ff
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Write the low ``nbits`` bits of ``value``, MSB first."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if nbits == 0:
+            return
+        if value < 0 or value >= (1 << nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._accum = (self._accum << nbits) | value
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            byte = (self._accum >> self._nbits) & 0xFF
+            self._buffer.append(byte)
+            if self._stuff_ff and byte == 0xFF:
+                self._buffer.append(0x00)
+        self._accum &= (1 << self._nbits) - 1
+
+    def flush(self, fill_bit: int = 1) -> None:
+        """Pad the final partial byte with ``fill_bit`` (JPEG pads with 1s)."""
+        if self._nbits:
+            pad = 8 - self._nbits
+            filler = (1 << pad) - 1 if fill_bit else 0
+            byte = ((self._accum << pad) | filler) & 0xFF
+            self._accum = 0
+            self._nbits = 0
+            self.write_bits(byte, 8)
+
+    def getvalue(self) -> bytes:
+        if self._nbits:
+            raise RuntimeError("flush() before reading the buffer")
+        return bytes(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte buffer.
+
+    Parameters
+    ----------
+    unstuff_ff:
+        When True, a ``0x00`` byte following ``0xFF`` is skipped (JPEG
+        entropy-coded-segment convention). A ``0xFF`` followed by anything
+        else signals a marker; reading past it raises ``EOFError``.
+    """
+
+    def __init__(self, data: bytes, unstuff_ff: bool = False) -> None:
+        self._data = data
+        self._pos = 0
+        self._accum = 0
+        self._nbits = 0
+        self._unstuff_ff = unstuff_ff
+
+    def _pull_byte(self) -> None:
+        if self._pos >= len(self._data):
+            raise EOFError("bitstream exhausted")
+        byte = self._data[self._pos]
+        self._pos += 1
+        if self._unstuff_ff and byte == 0xFF:
+            if self._pos >= len(self._data):
+                raise EOFError("truncated stuffing byte")
+            nxt = self._data[self._pos]
+            if nxt == 0x00:
+                self._pos += 1
+            else:
+                raise EOFError(f"hit marker 0xFF{nxt:02X} inside entropy data")
+        self._accum = (self._accum << 8) | byte
+        self._nbits += 8
+
+    def read_bit(self) -> int:
+        if self._nbits == 0:
+            self._pull_byte()
+        self._nbits -= 1
+        bit = (self._accum >> self._nbits) & 1
+        self._accum &= (1 << self._nbits) - 1
+        return bit
+
+    def read_bits(self, nbits: int) -> int:
+        """Read ``nbits`` bits MSB-first and return them as an int."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        value = 0
+        for _ in range(nbits):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits buffered plus bytes not yet pulled (upper bound)."""
+        return self._nbits + 8 * (len(self._data) - self._pos)

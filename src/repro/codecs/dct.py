@@ -1,0 +1,111 @@
+"""Block DCT utilities shared by the lossy codecs.
+
+Implements the orthonormal type-II DCT (and its inverse, type-III) on
+batches of ``B x B`` blocks via a single matrix multiply per side — the
+whole image's blocks are transformed in one vectorized einsum.
+
+A fixed-point forward/inverse path mirrors the integer DCT approximations
+real decoders use; the OS-simulation layer uses it to model why two phones'
+OS JPEG decoders can produce different pixels from identical bytes
+(paper §7).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "dct_matrix",
+    "blockify",
+    "unblockify",
+    "block_dct",
+    "block_idct",
+    "block_idct_fixed_point",
+    "zigzag_order",
+]
+
+
+@lru_cache(maxsize=None)
+def dct_matrix(size: int) -> np.ndarray:
+    """The orthonormal type-II DCT matrix of the given size.
+
+    Row ``k`` holds ``c(k) * cos((2n + 1) k pi / 2N)`` so that
+    ``X = D @ x`` is the 1-D DCT and ``x = D.T @ X`` its inverse.
+    """
+    if size < 2:
+        raise ValueError("DCT size must be >= 2")
+    n = np.arange(size)
+    k = n.reshape(-1, 1)
+    mat = np.cos((2 * n + 1) * k * np.pi / (2 * size))
+    mat[0] *= 1.0 / np.sqrt(2.0)
+    mat *= np.sqrt(2.0 / size)
+    return mat.astype(np.float64)
+
+
+def blockify(plane: np.ndarray, block: int) -> np.ndarray:
+    """Split an ``(H, W)`` plane into ``(n_blocks, block, block)``.
+
+    ``H`` and ``W`` must be multiples of ``block``. Blocks are ordered
+    row-major, which is also JPEG's MCU order for non-interleaved planes.
+    """
+    h, w = plane.shape
+    if h % block or w % block:
+        raise ValueError(f"plane {h}x{w} not divisible into {block}x{block} blocks")
+    reshaped = plane.reshape(h // block, block, w // block, block)
+    return reshaped.transpose(0, 2, 1, 3).reshape(-1, block, block)
+
+
+def unblockify(blocks: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Inverse of :func:`blockify`."""
+    block = blocks.shape[1]
+    if blocks.shape[1] != blocks.shape[2]:
+        raise ValueError("blocks must be square")
+    rows, cols = height // block, width // block
+    if rows * cols != blocks.shape[0]:
+        raise ValueError("block count does not match target size")
+    grid = blocks.reshape(rows, cols, block, block)
+    return grid.transpose(0, 2, 1, 3).reshape(height, width)
+
+
+def block_dct(blocks: np.ndarray) -> np.ndarray:
+    """2-D DCT of a batch of square blocks: ``D @ b @ D.T`` per block."""
+    d = dct_matrix(blocks.shape[1])
+    return np.einsum("ij,njk,lk->nil", d, blocks.astype(np.float64), d, optimize=True)
+
+
+def block_idct(blocks: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT (float reference path)."""
+    d = dct_matrix(blocks.shape[1])
+    return np.einsum("ji,njk,kl->nil", d, blocks.astype(np.float64), d, optimize=True)
+
+
+def block_idct_fixed_point(blocks: np.ndarray, fraction_bits: int = 11) -> np.ndarray:
+    """Inverse DCT using a fixed-point approximation of the basis matrix.
+
+    Real OS/vendor JPEG decoders use integer IDCTs with differing precision
+    (e.g. libjpeg's jpeg_idct_islow vs. ARM NEON paths). Quantizing the DCT
+    basis to ``fraction_bits`` fractional bits reproduces that family of
+    tiny, decoder-dependent reconstruction differences.
+    """
+    d = dct_matrix(blocks.shape[1])
+    scale = float(1 << fraction_bits)
+    d_fixed = np.round(d * scale) / scale
+    return np.einsum(
+        "ji,njk,kl->nil", d_fixed, blocks.astype(np.float64), d_fixed, optimize=True
+    )
+
+
+@lru_cache(maxsize=None)
+def zigzag_order(size: int = 8) -> np.ndarray:
+    """Indices that map a raster-order ``size*size`` block to zig-zag order.
+
+    ``flat_block[zigzag_order(8)]`` produces coefficients in JPEG scan
+    order (DC first, then ascending diagonal frequencies).
+    """
+    order = sorted(
+        ((r, c) for r in range(size) for c in range(size)),
+        key=lambda rc: (rc[0] + rc[1], rc[0] if (rc[0] + rc[1]) % 2 else rc[1]),
+    )
+    return np.array([r * size + c for r, c in order], dtype=np.int64)

@@ -1,0 +1,119 @@
+"""A HEIF/HEVC-intra-style codec: large transform blocks + deadzone quantizer.
+
+Like the WebP stand-in, this is architecture-faithful rather than
+bit-compatible: HEVC intra coding's distinguishing features relative to
+JPEG are its larger transform units (we use 16x16), a frequency-ramp
+quantization matrix, and a deadzone quantizer that zeroes small
+coefficients more aggressively than round-to-nearest. Those choices give
+it HEIF's signature behaviour — better rate/distortion than JPEG at the
+same perceptual quality, with smoother large-area reconstruction and
+different edge artefacts — so heif-vs-jpeg round trips diverge the way
+the paper's Table 3 measures.
+
+Bitstream layout (magic ``RPHF``)::
+
+    RPHF | u16 width | u16 height | u8 quality |
+    zlib( per-plane: u16 h | u16 w | int16 coefficient stream )
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from ..imaging.color import rgb_to_ycbcr, ycbcr_to_rgb
+from ..imaging.image import ImageBuffer
+from .dct import block_dct, block_idct, blockify, unblockify
+from .jpeg import _pad_plane, _subsample_420, _upsample_2x_bilinear
+
+__all__ = ["encode_heif", "decode_heif"]
+
+MAGIC = b"RPHF"
+_BLOCK = 16
+_DEADZONE = 0.35  # quantizer rounding offset; < 0.5 biases toward zero
+
+
+def _quant_matrix(quality: int, chroma: bool) -> np.ndarray:
+    """A frequency-ramp quantization matrix for 16x16 blocks.
+
+    Low frequencies are finely quantized, high frequencies coarsely, with
+    the overall scale driven by quality (1..100) in the same exponential
+    spirit as HEVC's QP -> step mapping (step doubles every 6 QP).
+    """
+    if not 1 <= quality <= 100:
+        raise ValueError("quality must be in 1..100")
+    base = 2.0 ** ((60.0 - 0.55 * quality) / 6.0)
+    freq = np.add.outer(np.arange(_BLOCK), np.arange(_BLOCK)) / (2 * (_BLOCK - 1))
+    ramp = 1.0 + 3.0 * freq**1.5
+    matrix = base * ramp
+    if chroma:
+        matrix = matrix * 1.6
+    return np.maximum(matrix, 0.4)
+
+
+def _deadzone_quantize(coeffs: np.ndarray, quant: np.ndarray) -> np.ndarray:
+    scaled = coeffs / quant[None]
+    return (np.sign(scaled) * np.floor(np.abs(scaled) + _DEADZONE)).astype(np.int16)
+
+
+def _encode_plane(plane: np.ndarray, quant: np.ndarray) -> bytes:
+    blocks = blockify(plane - 128.0, _BLOCK)
+    coeffs = block_dct(blocks)
+    quantized = _deadzone_quantize(coeffs, quant)
+    return struct.pack("<HH", *plane.shape) + quantized.astype("<i2").tobytes()
+
+
+def _decode_plane(data: bytes, quant: np.ndarray) -> tuple[np.ndarray, int]:
+    h, w = struct.unpack("<HH", data[:4])
+    count = (h // _BLOCK) * (w // _BLOCK) * _BLOCK * _BLOCK
+    quantized = np.frombuffer(data[4 : 4 + 2 * count], dtype="<i2").astype(np.float64)
+    coeffs = quantized.reshape(-1, _BLOCK, _BLOCK) * quant[None]
+    spatial = block_idct(coeffs) + 128.0
+    return np.clip(unblockify(spatial, h, w), 0.0, 255.0), 4 + 2 * count
+
+
+def encode_heif(image: ImageBuffer, quality: int = 80) -> bytes:
+    """Encode with the HEIF-like codec (4:2:0, 16x16 transform units)."""
+    rgb255 = image.to_uint8().astype(np.float64)
+    ycc = rgb_to_ycbcr(rgb255 / 255.0)
+    y_plane = _pad_plane(ycc[..., 0] * 255.0, _BLOCK)
+    cb = _pad_plane(_subsample_420(_pad_plane(ycc[..., 1] * 255.0 + 128.0, 2)), _BLOCK)
+    cr = _pad_plane(_subsample_420(_pad_plane(ycc[..., 2] * 255.0 + 128.0, 2)), _BLOCK)
+
+    luma_q = _quant_matrix(quality, chroma=False)
+    chroma_q = _quant_matrix(quality, chroma=True)
+    payload = (
+        _encode_plane(y_plane, luma_q)
+        + _encode_plane(cb, chroma_q)
+        + _encode_plane(cr, chroma_q)
+    )
+    header = MAGIC + struct.pack("<HHB", image.width, image.height, quality)
+    return header + zlib.compress(payload, 6)
+
+
+def decode_heif(data: bytes) -> ImageBuffer:
+    """Decode a stream produced by :func:`encode_heif`."""
+    if data[:4] != MAGIC:
+        raise ValueError("not an RPHF (heif-like) stream")
+    width, height, quality = struct.unpack("<HHB", data[4:9])
+    payload = zlib.decompress(data[9:])
+
+    luma_q = _quant_matrix(quality, chroma=False)
+    chroma_q = _quant_matrix(quality, chroma=True)
+    y_plane, used = _decode_plane(payload, luma_q)
+    cb, used2 = _decode_plane(payload[used:], chroma_q)
+    cr, _ = _decode_plane(payload[used + used2 :], chroma_q)
+
+    cb = _upsample_2x_bilinear(cb)
+    cr = _upsample_2x_bilinear(cr)
+    y_plane = y_plane[:height, :width]
+    cb = cb[:height, :width]
+    cr = cr[:height, :width]
+    ycc = np.stack(
+        [y_plane / 255.0, (cb - 128.0) / 255.0, (cr - 128.0) / 255.0], axis=-1
+    )
+    rgb = np.clip(ycbcr_to_rgb(ycc), 0.0, 1.0)
+    rgb8 = np.floor(rgb * 255.0 + 0.5).astype(np.uint8)
+    return ImageBuffer.from_uint8(rgb8)

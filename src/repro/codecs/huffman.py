@@ -1,0 +1,215 @@
+"""Canonical Huffman coding in the JPEG (ITU T.81 Annex C/K) style.
+
+A table is described the way JPEG's DHT segment describes it: ``bits[i]`` is
+the number of codes of length ``i+1`` and ``values`` lists the symbols in
+canonical order. :class:`HuffmanTable` derives the actual codes and supports
+both encoding (symbol -> (code, length)) and bit-serial decoding.
+
+The standard Annex K tables used by virtually every baseline JPEG encoder
+are included as module constants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .bitio import BitReader, BitWriter
+
+__all__ = [
+    "HuffmanTable",
+    "STD_DC_LUMA",
+    "STD_DC_CHROMA",
+    "STD_AC_LUMA",
+    "STD_AC_CHROMA",
+]
+
+
+class HuffmanTable:
+    """A canonical Huffman code defined by (bits, values), JPEG-style."""
+
+    def __init__(self, bits: Sequence[int], values: Sequence[int]) -> None:
+        if len(bits) != 16:
+            raise ValueError("bits must have 16 entries (code lengths 1..16)")
+        if sum(bits) != len(values):
+            raise ValueError(
+                f"values length {len(values)} does not match sum(bits)={sum(bits)}"
+            )
+        self.bits: Tuple[int, ...] = tuple(int(b) for b in bits)
+        self.values: Tuple[int, ...] = tuple(int(v) for v in values)
+
+        # Canonical code assignment (T.81 Annex C).
+        self._encode: Dict[int, Tuple[int, int]] = {}
+        self._decode: Dict[Tuple[int, int], int] = {}
+        code = 0
+        k = 0
+        for length in range(1, 17):
+            for _ in range(self.bits[length - 1]):
+                symbol = self.values[k]
+                if symbol in self._encode:
+                    raise ValueError(f"duplicate symbol {symbol} in Huffman table")
+                if code >= (1 << length):
+                    raise ValueError("over-subscribed Huffman table")
+                self._encode[symbol] = (code, length)
+                self._decode[(length, code)] = symbol
+                code += 1
+                k += 1
+            code <<= 1
+
+    # ------------------------------------------------------------------
+    def encode_symbol(self, writer: BitWriter, symbol: int) -> None:
+        """Append the code for ``symbol`` to ``writer``."""
+        try:
+            code, length = self._encode[symbol]
+        except KeyError:
+            raise KeyError(f"symbol {symbol} not in Huffman table") from None
+        writer.write_bits(code, length)
+
+    def code_length(self, symbol: int) -> int:
+        return self._encode[symbol][1]
+
+    def __contains__(self, symbol: int) -> bool:
+        return symbol in self._encode
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        """Read one symbol bit-serially from ``reader``."""
+        code = 0
+        for length in range(1, 17):
+            code = (code << 1) | reader.read_bit()
+            symbol = self._decode.get((length, code))
+            if symbol is not None:
+                return symbol
+        raise ValueError("invalid Huffman code (no symbol within 16 bits)")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_frequencies(cls, freqs: Dict[int, int], max_length: int = 16) -> "HuffmanTable":
+        """Build a length-limited canonical table from symbol frequencies.
+
+        Uses the classic package-merge-free heuristic JPEG encoders use:
+        build an optimal Huffman tree, then rebalance any code longer than
+        ``max_length``. Adequate for custom tables in tests and the
+        WebP/HEIF stand-in codecs.
+        """
+        if not freqs:
+            raise ValueError("cannot build a Huffman table with no symbols")
+        import heapq
+
+        heap: List[Tuple[int, int, object]] = []
+        for i, (sym, f) in enumerate(sorted(freqs.items())):
+            if f <= 0:
+                raise ValueError("frequencies must be positive")
+            heap.append((f, i, sym))
+        heapq.heapify(heap)
+        counter = len(heap)
+        if len(heap) == 1:
+            # Degenerate single-symbol alphabet: give it a 1-bit code.
+            sym = heap[0][2]
+            bits = [0] * 16
+            bits[0] = 1
+            return cls(bits, [sym])  # type: ignore[list-item]
+        while len(heap) > 1:
+            f1, _, left = heapq.heappop(heap)
+            f2, _, right = heapq.heappop(heap)
+            heapq.heappush(heap, (f1 + f2, counter, (left, right)))
+            counter += 1
+        lengths: Dict[int, int] = {}
+
+        def walk(node: object, depth: int) -> None:
+            if isinstance(node, tuple):
+                walk(node[0], depth + 1)
+                walk(node[1], depth + 1)
+            else:
+                lengths[node] = max(depth, 1)  # type: ignore[index]
+
+        walk(heap[0][2], 0)
+
+        # Length-limit by demoting overlong codes (rare at our scales).
+        overflow = sorted(s for s, l in lengths.items() if l > max_length)
+        for sym in overflow:
+            lengths[sym] = max_length
+        while True:
+            # Kraft inequality check; demote shallow codes if violated.
+            kraft = sum(2.0 ** -l for l in lengths.values())
+            if kraft <= 1.0 + 1e-12:
+                break
+            deepest_ok = max(
+                (s for s, l in lengths.items() if l < max_length),
+                key=lambda s: lengths[s],
+            )
+            lengths[deepest_ok] += 1
+
+        bits = [0] * 16
+        ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+        values = []
+        for sym, length in ordered:
+            bits[length - 1] += 1
+            values.append(sym)
+        return cls(bits, values)
+
+
+# ----------------------------------------------------------------------
+# ITU T.81 Annex K.3 standard tables.
+# ----------------------------------------------------------------------
+STD_DC_LUMA = HuffmanTable(
+    bits=[0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0],
+    values=[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+)
+
+STD_DC_CHROMA = HuffmanTable(
+    bits=[0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0],
+    values=[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+)
+
+STD_AC_LUMA = HuffmanTable(
+    bits=[0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D],
+    values=[
+        0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12,
+        0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61, 0x07,
+        0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08,
+        0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0,
+        0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A, 0x16,
+        0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28,
+        0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,
+        0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+        0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+        0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+        0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79,
+        0x7A, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+        0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+        0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7,
+        0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+        0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5,
+        0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4,
+        0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2,
+        0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA,
+        0xF1, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+        0xF9, 0xFA,
+    ],
+)
+
+STD_AC_CHROMA = HuffmanTable(
+    bits=[0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77],
+    values=[
+        0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21,
+        0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61, 0x71,
+        0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91,
+        0xA1, 0xB1, 0xC1, 0x09, 0x23, 0x33, 0x52, 0xF0,
+        0x15, 0x62, 0x72, 0xD1, 0x0A, 0x16, 0x24, 0x34,
+        0xE1, 0x25, 0xF1, 0x17, 0x18, 0x19, 0x1A, 0x26,
+        0x27, 0x28, 0x29, 0x2A, 0x35, 0x36, 0x37, 0x38,
+        0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48,
+        0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58,
+        0x59, 0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68,
+        0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78,
+        0x79, 0x7A, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87,
+        0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96,
+        0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5,
+        0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4,
+        0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3,
+        0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2,
+        0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA,
+        0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9,
+        0xEA, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+        0xF9, 0xFA,
+    ],
+)

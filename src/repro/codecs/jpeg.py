@@ -1,0 +1,591 @@
+"""A from-scratch baseline JPEG (JFIF) encoder and decoder.
+
+Implements the real ITU T.81 baseline path:
+
+* full-range BT.601 RGB -> YCbCr,
+* optional 4:2:0 chroma subsampling with interleaved MCUs,
+* 8x8 orthonormal DCT, quality-scaled Annex K quantization tables,
+* zig-zag scan, DC prediction, run/size AC coding,
+* canonical Huffman entropy coding with the Annex K.3 tables,
+* a proper marker stream (SOI, APP0/JFIF, DQT, SOF0, DHT, SOS, EOI)
+  with 0xFF byte stuffing inside the entropy-coded segment.
+
+The decoder is parameterized by :class:`JpegDecodeOptions` — the IDCT
+implementation (float vs. fixed-point), final rounding mode, and chroma
+upsampling filter. Those are exactly the degrees of freedom along which
+real OS/vendor JPEG decoders differ, and they power the paper's §7
+experiment (two phones in the Firebase fleet decode the same bytes to
+different pixels, yielding 0.64% instability; PNG shows none).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..imaging.color import rgb_to_ycbcr, ycbcr_to_rgb
+from ..imaging.image import ImageBuffer
+from .bitio import BitReader, BitWriter
+from .dct import (
+    block_dct,
+    block_idct,
+    block_idct_fixed_point,
+    blockify,
+    unblockify,
+    zigzag_order,
+)
+from .huffman import (
+    STD_AC_CHROMA,
+    STD_AC_LUMA,
+    STD_DC_CHROMA,
+    STD_DC_LUMA,
+    HuffmanTable,
+)
+
+__all__ = [
+    "encode_jpeg",
+    "decode_jpeg",
+    "JpegDecodeOptions",
+    "quality_scaled_tables",
+    "BASE_LUMA_QUANT",
+    "BASE_CHROMA_QUANT",
+]
+
+# ITU T.81 Annex K.1 / K.2 base quantization tables.
+BASE_LUMA_QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.int64,
+)
+
+BASE_CHROMA_QUANT = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.int64,
+)
+
+
+def quality_scaled_tables(quality: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Scale the Annex K tables by the libjpeg/IJG quality convention.
+
+    ``quality`` 1..100; 50 leaves the base tables unchanged, 100 gives
+    near-lossless (all ones at exactly 100).
+    """
+    if not 1 <= quality <= 100:
+        raise ValueError("JPEG quality must be in 1..100")
+    if quality < 50:
+        scale = 5000 // quality
+    else:
+        scale = 200 - 2 * quality
+    luma = np.clip((BASE_LUMA_QUANT * scale + 50) // 100, 1, 255)
+    chroma = np.clip((BASE_CHROMA_QUANT * scale + 50) // 100, 1, 255)
+    return luma.astype(np.int64), chroma.astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Entropy coding helpers
+# ----------------------------------------------------------------------
+def _bit_size(value: int) -> int:
+    """JPEG magnitude category: smallest s with |value| < 2^s."""
+    return int(abs(value)).bit_length()
+
+
+def _encode_coefficient_bits(writer: BitWriter, value: int, size: int) -> None:
+    if size == 0:
+        return
+    if value < 0:
+        value += (1 << size) - 1
+    writer.write_bits(value, size)
+
+
+def _decode_coefficient_bits(reader: BitReader, size: int) -> int:
+    if size == 0:
+        return 0
+    raw = reader.read_bits(size)
+    if raw < (1 << (size - 1)):
+        raw -= (1 << size) - 1
+    return raw
+
+
+def _encode_block(
+    writer: BitWriter,
+    coeffs_zz: np.ndarray,
+    dc_pred: int,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+) -> int:
+    """Entropy-code one zig-zag-ordered quantized block; returns new DC."""
+    dc = int(coeffs_zz[0])
+    diff = dc - dc_pred
+    size = _bit_size(diff)
+    dc_table.encode_symbol(writer, size)
+    _encode_coefficient_bits(writer, diff, size)
+
+    run = 0
+    last_nonzero = int(np.max(np.nonzero(coeffs_zz)[0])) if np.any(coeffs_zz[1:]) else 0
+    for idx in range(1, 64):
+        val = int(coeffs_zz[idx])
+        if val == 0:
+            run += 1
+            continue
+        while run >= 16:
+            ac_table.encode_symbol(writer, 0xF0)  # ZRL
+            run -= 16
+        size = _bit_size(val)
+        ac_table.encode_symbol(writer, (run << 4) | size)
+        _encode_coefficient_bits(writer, val, size)
+        run = 0
+        if idx == last_nonzero:
+            break
+    if last_nonzero < 63:
+        ac_table.encode_symbol(writer, 0x00)  # EOB
+    return dc
+
+
+def _decode_block(
+    reader: BitReader,
+    dc_pred: int,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+) -> Tuple[np.ndarray, int]:
+    """Decode one block into zig-zag order; returns (coeffs, new DC)."""
+    coeffs = np.zeros(64, dtype=np.int64)
+    size = dc_table.decode_symbol(reader)
+    dc = dc_pred + _decode_coefficient_bits(reader, size)
+    coeffs[0] = dc
+    idx = 1
+    while idx < 64:
+        symbol = ac_table.decode_symbol(reader)
+        if symbol == 0x00:  # EOB
+            break
+        if symbol == 0xF0:  # ZRL
+            idx += 16
+            continue
+        run, size = symbol >> 4, symbol & 0x0F
+        idx += run
+        if idx >= 64:
+            raise ValueError("AC run overflows block")
+        coeffs[idx] = _decode_coefficient_bits(reader, size)
+        idx += 1
+    return coeffs, dc
+
+
+# ----------------------------------------------------------------------
+# Plane <-> quantized blocks
+# ----------------------------------------------------------------------
+def _plane_to_quantized_blocks(plane: np.ndarray, quant: np.ndarray) -> np.ndarray:
+    """Level-shift, DCT, and quantize a padded plane into zig-zag blocks."""
+    blocks = blockify(plane.astype(np.float64) - 128.0, 8)
+    coeffs = block_dct(blocks)
+    quantized = np.round(coeffs / quant[None]).astype(np.int64)
+    zz = zigzag_order(8)
+    return quantized.reshape(-1, 64)[:, zz]
+
+
+def _quantized_blocks_to_plane(
+    blocks_zz: np.ndarray,
+    quant: np.ndarray,
+    height: int,
+    width: int,
+    idct: str,
+) -> np.ndarray:
+    """Dequantize, inverse-DCT, and reassemble a plane (values 0..255)."""
+    zz = zigzag_order(8)
+    raster = np.empty_like(blocks_zz)
+    raster[:, zz] = blocks_zz
+    coeffs = raster.reshape(-1, 8, 8).astype(np.float64) * quant[None]
+    if idct == "float":
+        spatial = block_idct(coeffs)
+    elif idct == "fixed11":
+        spatial = block_idct_fixed_point(coeffs, fraction_bits=11)
+    elif idct == "fixed8":
+        spatial = block_idct_fixed_point(coeffs, fraction_bits=8)
+    else:
+        raise ValueError(f"unknown IDCT variant {idct!r}")
+    plane = unblockify(spatial, height, width) + 128.0
+    return plane
+
+
+def _pad_plane(plane: np.ndarray, multiple: int) -> np.ndarray:
+    h, w = plane.shape
+    pad_h = (-h) % multiple
+    pad_w = (-w) % multiple
+    if pad_h or pad_w:
+        plane = np.pad(plane, ((0, pad_h), (0, pad_w)), mode="edge")
+    return plane
+
+
+def _subsample_420(plane: np.ndarray) -> np.ndarray:
+    """2x2 box-average chroma downsampling (even dims required)."""
+    h, w = plane.shape
+    return plane.reshape(h // 2, 2, w // 2, 2).mean(axis=(1, 3))
+
+
+def _upsample_2x_nearest(plane: np.ndarray) -> np.ndarray:
+    return np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)
+
+
+def _upsample_2x_bilinear(plane: np.ndarray) -> np.ndarray:
+    """Triangle-filter ("fancy") chroma upsampling a la libjpeg."""
+    h, w = plane.shape
+    padded = np.pad(plane, 1, mode="edge")
+    out = np.empty((2 * h, 2 * w), dtype=plane.dtype)
+    # Each output sample mixes the nearest chroma sample (weight 3) with the
+    # neighbour on each axis (weight 1) -> weights 9/3/3/1 over 16.
+    c = padded[1:-1, 1:-1]
+    up = padded[:-2, 1:-1]
+    down = padded[2:, 1:-1]
+    left = padded[1:-1, :-2]
+    right = padded[1:-1, 2:]
+    ul = padded[:-2, :-2]
+    ur = padded[:-2, 2:]
+    dl = padded[2:, :-2]
+    dr = padded[2:, 2:]
+    out[0::2, 0::2] = (9 * c + 3 * up + 3 * left + ul) / 16.0
+    out[0::2, 1::2] = (9 * c + 3 * up + 3 * right + ur) / 16.0
+    out[1::2, 0::2] = (9 * c + 3 * down + 3 * left + dl) / 16.0
+    out[1::2, 1::2] = (9 * c + 3 * down + 3 * right + dr) / 16.0
+    return out
+
+
+# ----------------------------------------------------------------------
+# Marker segment writers
+# ----------------------------------------------------------------------
+def _segment(marker: int, payload: bytes) -> bytes:
+    return struct.pack(">BBH", 0xFF, marker, len(payload) + 2) + payload
+
+
+def _dqt_segment(table_id: int, quant: np.ndarray) -> bytes:
+    zz = zigzag_order(8)
+    body = bytes([table_id]) + bytes(int(v) for v in quant.reshape(64)[zz])
+    return _segment(0xDB, body)
+
+
+def _dht_segment(table_class: int, table_id: int, table: HuffmanTable) -> bytes:
+    body = bytes([(table_class << 4) | table_id])
+    body += bytes(table.bits)
+    body += bytes(table.values)
+    return _segment(0xC4, body)
+
+
+_APP0_JFIF = _segment(0xE0, b"JFIF\x00\x01\x01\x00\x00\x01\x00\x01\x00\x00")
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def encode_jpeg(
+    image: ImageBuffer,
+    quality: int = 85,
+    subsampling: str = "4:2:0",
+) -> bytes:
+    """Encode an :class:`ImageBuffer` as a baseline JFIF byte stream.
+
+    Parameters
+    ----------
+    image:
+        RGB image; values are clipped to [0, 1] then quantized to 8 bits.
+    quality:
+        IJG-convention quality factor in 1..100.
+    subsampling:
+        ``"4:2:0"`` (default, what phone camera pipelines emit) or
+        ``"4:4:4"``.
+    """
+    if subsampling not in ("4:2:0", "4:4:4"):
+        raise ValueError(f"unsupported subsampling {subsampling!r}")
+    luma_q, chroma_q = quality_scaled_tables(quality)
+
+    rgb255 = image.to_uint8().astype(np.float64)
+    ycc = rgb_to_ycbcr(rgb255 / 255.0).astype(np.float64)
+    y_plane = ycc[..., 0] * 255.0
+    cb_plane = ycc[..., 1] * 255.0 + 128.0
+    cr_plane = ycc[..., 2] * 255.0 + 128.0
+
+    height, width = y_plane.shape
+    if subsampling == "4:2:0":
+        mcu = 16
+        y_pad = _pad_plane(y_plane, mcu)
+        cb_small = _subsample_420(_pad_plane(cb_plane, 2))
+        cr_small = _subsample_420(_pad_plane(cr_plane, 2))
+        cb_pad = _pad_plane(cb_small, 8)
+        cr_pad = _pad_plane(cr_small, 8)
+        h_samp, v_samp = 2, 2
+    else:
+        mcu = 8
+        y_pad = _pad_plane(y_plane, mcu)
+        cb_pad = _pad_plane(cb_plane, 8)
+        cr_pad = _pad_plane(cr_plane, 8)
+        h_samp, v_samp = 1, 1
+
+    y_blocks = _plane_to_quantized_blocks(y_pad, luma_q)
+    cb_blocks = _plane_to_quantized_blocks(cb_pad, chroma_q)
+    cr_blocks = _plane_to_quantized_blocks(cr_pad, chroma_q)
+
+    y_bw = y_pad.shape[1] // 8  # luma blocks per row
+    c_bw = cb_pad.shape[1] // 8
+
+    writer = BitWriter(stuff_ff=True)
+    dc = [0, 0, 0]
+    mcu_rows = y_pad.shape[0] // mcu
+    mcu_cols = y_pad.shape[1] // mcu
+    for mr in range(mcu_rows):
+        for mc in range(mcu_cols):
+            if subsampling == "4:2:0":
+                for dy in range(2):
+                    for dx in range(2):
+                        idx = (mr * 2 + dy) * y_bw + (mc * 2 + dx)
+                        dc[0] = _encode_block(
+                            writer, y_blocks[idx], dc[0], STD_DC_LUMA, STD_AC_LUMA
+                        )
+                c_idx = mr * c_bw + mc
+                dc[1] = _encode_block(
+                    writer, cb_blocks[c_idx], dc[1], STD_DC_CHROMA, STD_AC_CHROMA
+                )
+                dc[2] = _encode_block(
+                    writer, cr_blocks[c_idx], dc[2], STD_DC_CHROMA, STD_AC_CHROMA
+                )
+            else:
+                idx = mr * y_bw + mc
+                dc[0] = _encode_block(
+                    writer, y_blocks[idx], dc[0], STD_DC_LUMA, STD_AC_LUMA
+                )
+                dc[1] = _encode_block(
+                    writer, cb_blocks[idx], dc[1], STD_DC_CHROMA, STD_AC_CHROMA
+                )
+                dc[2] = _encode_block(
+                    writer, cr_blocks[idx], dc[2], STD_DC_CHROMA, STD_AC_CHROMA
+                )
+    writer.flush(fill_bit=1)
+
+    sof = struct.pack(
+        ">BHHB", 8, height, width, 3
+    ) + bytes(
+        [
+            1, (h_samp << 4) | v_samp, 0,  # Y
+            2, 0x11, 1,  # Cb
+            3, 0x11, 1,  # Cr
+        ]
+    )
+    sos = bytes([3, 1, 0x00, 2, 0x11, 3, 0x11, 0, 63, 0])
+
+    out = bytearray()
+    out += b"\xff\xd8"  # SOI
+    out += _APP0_JFIF
+    out += _dqt_segment(0, luma_q)
+    out += _dqt_segment(1, chroma_q)
+    out += _segment(0xC0, sof)
+    out += _dht_segment(0, 0, STD_DC_LUMA)
+    out += _dht_segment(1, 0, STD_AC_LUMA)
+    out += _dht_segment(0, 1, STD_DC_CHROMA)
+    out += _dht_segment(1, 1, STD_AC_CHROMA)
+    out += _segment(0xDA, sos)
+    out += writer.getvalue()
+    out += b"\xff\xd9"  # EOI
+    return bytes(out)
+
+
+@dataclass(frozen=True)
+class JpegDecodeOptions:
+    """Decoder-implementation knobs along which real OS decoders differ.
+
+    Attributes
+    ----------
+    idct:
+        ``"float"`` (reference), ``"fixed11"`` or ``"fixed8"``
+        (fixed-point approximations with 11 / 8 fractional bits).
+    rounding:
+        ``"round"`` (round-half-away, libjpeg-style) or ``"truncate"``
+        when converting reconstructed samples to 8-bit.
+    chroma_upsample:
+        ``"bilinear"`` ("fancy" triangle filter) or ``"nearest"``
+        (replication).
+    """
+
+    idct: str = "float"
+    rounding: str = "round"
+    chroma_upsample: str = "bilinear"
+
+
+def decode_jpeg(data: bytes, options: JpegDecodeOptions | None = None) -> ImageBuffer:
+    """Decode a baseline JFIF stream produced by :func:`encode_jpeg`.
+
+    The decoder is a real marker-stream parser: it reads DQT/DHT tables and
+    frame geometry from the file rather than assuming the encoder's
+    defaults.
+    """
+    options = options or JpegDecodeOptions()
+    if options.rounding not in ("round", "truncate"):
+        raise ValueError(f"unknown rounding mode {options.rounding!r}")
+    if options.chroma_upsample not in ("bilinear", "nearest"):
+        raise ValueError(f"unknown upsampling {options.chroma_upsample!r}")
+
+    if data[:2] != b"\xff\xd8":
+        raise ValueError("not a JPEG stream (missing SOI)")
+
+    pos = 2
+    quant_tables: Dict[int, np.ndarray] = {}
+    huff_tables: Dict[Tuple[int, int], HuffmanTable] = {}
+    frame = None
+    scan_components: List[Tuple[int, int, int]] = []
+    entropy_start = None
+    zz = zigzag_order(8)
+
+    while pos < len(data):
+        if data[pos] != 0xFF:
+            raise ValueError(f"expected marker at offset {pos}")
+        marker = data[pos + 1]
+        pos += 2
+        if marker == 0xD9:  # EOI
+            break
+        if marker in (0x01,) or 0xD0 <= marker <= 0xD7:
+            continue  # parameterless markers
+        length = struct.unpack(">H", data[pos : pos + 2])[0]
+        payload = data[pos + 2 : pos + length]
+        pos += length
+
+        if marker == 0xDB:  # DQT
+            offset = 0
+            while offset < len(payload):
+                pq_tq = payload[offset]
+                precision, table_id = pq_tq >> 4, pq_tq & 0x0F
+                if precision != 0:
+                    raise ValueError("only 8-bit quant tables supported")
+                table_zz = np.frombuffer(
+                    payload[offset + 1 : offset + 65], dtype=np.uint8
+                ).astype(np.int64)
+                raster = np.empty(64, dtype=np.int64)
+                raster[zz] = table_zz
+                quant_tables[table_id] = raster.reshape(8, 8)
+                offset += 65
+        elif marker == 0xC4:  # DHT
+            offset = 0
+            while offset < len(payload):
+                tc_th = payload[offset]
+                table_class, table_id = tc_th >> 4, tc_th & 0x0F
+                bits = list(payload[offset + 1 : offset + 17])
+                count = sum(bits)
+                values = list(payload[offset + 17 : offset + 17 + count])
+                huff_tables[(table_class, table_id)] = HuffmanTable(bits, values)
+                offset += 17 + count
+        elif marker == 0xC0:  # SOF0 baseline
+            precision, height, width, ncomp = struct.unpack(">BHHB", payload[:6])
+            if precision != 8 or ncomp != 3:
+                raise ValueError("only 8-bit 3-component baseline supported")
+            comps = []
+            for i in range(ncomp):
+                cid, samp, tq = payload[6 + 3 * i : 9 + 3 * i]
+                comps.append((cid, samp >> 4, samp & 0x0F, tq))
+            frame = (height, width, comps)
+        elif marker in (0xC1, 0xC2, 0xC3):
+            raise ValueError("only baseline (SOF0) JPEG is supported")
+        elif marker == 0xDA:  # SOS
+            ns = payload[0]
+            for i in range(ns):
+                cid, tables = payload[1 + 2 * i : 3 + 2 * i]
+                scan_components.append((cid, tables >> 4, tables & 0x0F))
+            entropy_start = pos
+            break
+        # APPn / COM and anything else: skipped.
+
+    if frame is None or entropy_start is None:
+        raise ValueError("missing SOF/SOS segment")
+
+    # Locate the end of the entropy-coded segment (EOI marker).
+    end = data.rfind(b"\xff\xd9")
+    if end < 0:
+        raise ValueError("missing EOI")
+    reader = BitReader(data[entropy_start:end], unstuff_ff=True)
+
+    height, width, comps = frame
+    h_max = max(c[1] for c in comps)
+    v_max = max(c[2] for c in comps)
+    mcu_w, mcu_h = 8 * h_max, 8 * v_max
+    mcu_cols = -(-width // mcu_w)
+    mcu_rows = -(-height // mcu_h)
+
+    comp_info = {}
+    for cid, h_s, v_s, tq in comps:
+        dc_id, ac_id = next(
+            (dc, ac) for scid, dc, ac in scan_components if scid == cid
+        )
+        blocks_w = mcu_cols * h_s
+        blocks_h = mcu_rows * v_s
+        comp_info[cid] = {
+            "h": h_s,
+            "v": v_s,
+            "quant": quant_tables[tq],
+            "dc_table": huff_tables[(0, dc_id)],
+            "ac_table": huff_tables[(1, ac_id)],
+            "blocks": np.zeros((blocks_h * blocks_w, 64), dtype=np.int64),
+            "blocks_w": blocks_w,
+            "pred": 0,
+        }
+
+    for mr in range(mcu_rows):
+        for mc in range(mcu_cols):
+            for cid, h_s, v_s, _tq in comps:
+                info = comp_info[cid]
+                for dy in range(v_s):
+                    for dx in range(h_s):
+                        coeffs, info["pred"] = _decode_block(
+                            reader, info["pred"], info["dc_table"], info["ac_table"]
+                        )
+                        row = mr * v_s + dy
+                        col = mc * h_s + dx
+                        info["blocks"][row * info["blocks_w"] + col] = coeffs
+
+    planes = {}
+    for cid, info in comp_info.items():
+        plane_h = (info["blocks"].shape[0] // info["blocks_w"]) * 8
+        plane_w = info["blocks_w"] * 8
+        planes[cid] = _quantized_blocks_to_plane(
+            info["blocks"], info["quant"], plane_h, plane_w, options.idct
+        )
+
+    y_plane = planes[1]
+    cb_plane = planes[2]
+    cr_plane = planes[3]
+    y_info = comp_info[1]
+    if y_info["h"] == 2 and y_info["v"] == 2:
+        upsample = (
+            _upsample_2x_bilinear
+            if options.chroma_upsample == "bilinear"
+            else _upsample_2x_nearest
+        )
+        cb_plane = upsample(cb_plane)
+        cr_plane = upsample(cr_plane)
+
+    y_plane = y_plane[:height, :width]
+    cb_plane = cb_plane[:height, :width]
+    cr_plane = cr_plane[:height, :width]
+
+    ycc = np.stack(
+        [y_plane / 255.0, (cb_plane - 128.0) / 255.0, (cr_plane - 128.0) / 255.0],
+        axis=-1,
+    )
+    rgb = ycbcr_to_rgb(ycc) * 255.0
+    rgb = np.clip(rgb, 0.0, 255.0)
+    if options.rounding == "round":
+        rgb8 = np.floor(rgb + 0.5).astype(np.uint8)
+    else:
+        rgb8 = rgb.astype(np.uint8)  # truncation
+    return ImageBuffer.from_uint8(rgb8)

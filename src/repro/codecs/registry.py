@@ -1,0 +1,121 @@
+"""Uniform codec interface and registry.
+
+Everything downstream (device models, experiments, mitigation) talks to
+codecs through :class:`Codec` so that "compress the same raw image into
+JPEG / PNG / WebP / HEIF" — the paper's Table 3 experiment — is a loop
+over registry entries, and new codecs can be registered by extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..imaging.image import ImageBuffer
+from .heif import decode_heif, encode_heif
+from .jpeg import JpegDecodeOptions, decode_jpeg, encode_jpeg
+from .png import decode_png, encode_png
+from .webp import decode_webp, encode_webp
+
+__all__ = ["Codec", "get_codec", "available_codecs", "register_codec", "sniff_format", "decode_any"]
+
+
+@dataclass(frozen=True)
+class Codec:
+    """A named image codec with symmetric encode/decode callables.
+
+    ``lossless`` is advertised so experiments can assert invariants (e.g.
+    the §7 result that PNG shows zero cross-OS instability relies on it).
+    """
+
+    name: str
+    encode: Callable[..., bytes]
+    decode: Callable[[bytes], ImageBuffer]
+    lossless: bool
+    default_quality: int | None = None
+
+    def roundtrip(self, image: ImageBuffer, **params) -> ImageBuffer:
+        """Encode then decode, returning the reconstructed image."""
+        return self.decode(self.encode(image, **params))
+
+
+_REGISTRY: Dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec, overwrite: bool = False) -> None:
+    """Add a codec to the global registry."""
+    if codec.name in _REGISTRY and not overwrite:
+        raise ValueError(f"codec {codec.name!r} already registered")
+    _REGISTRY[codec.name] = codec
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec by name (``jpeg``, ``png``, ``webp``, ``heif``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_codecs() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def decode_any(data: bytes) -> ImageBuffer:
+    """Decode a byte stream with the reference decoder for its format.
+
+    This is the *experimenter's* loader — the consistent decode path used
+    when evaluating photos off-device — as opposed to
+    :class:`repro.devices.os_sim.OSDecoderProfile`, which models how a
+    particular phone OS decodes.
+    """
+    return get_codec(sniff_format(data)).decode(data)
+
+
+def sniff_format(data: bytes) -> str:
+    """Identify a byte stream's format from its magic bytes."""
+    if data[:2] == b"\xff\xd8":
+        return "jpeg"
+    if data[:8] == b"\x89PNG\r\n\x1a\n":
+        return "png"
+    if data[:4] == b"RPWB":
+        return "webp"
+    if data[:4] == b"RPHF":
+        return "heif"
+    if data[:4] == b"RPDN":
+        return "dng"
+    raise ValueError("unrecognized image format")
+
+
+register_codec(
+    Codec(
+        name="jpeg",
+        encode=encode_jpeg,
+        decode=lambda data: decode_jpeg(data, JpegDecodeOptions()),
+        lossless=False,
+        default_quality=85,
+    )
+)
+register_codec(
+    Codec(name="png", encode=encode_png, decode=decode_png, lossless=True)
+)
+register_codec(
+    Codec(
+        name="webp",
+        encode=encode_webp,
+        decode=decode_webp,
+        lossless=False,
+        default_quality=40,
+    )
+)
+register_codec(
+    Codec(
+        name="heif",
+        encode=encode_heif,
+        decode=decode_heif,
+        lossless=False,
+        default_quality=80,
+    )
+)

@@ -1,0 +1,48 @@
+"""The paper's contribution: the instability metric and its analyses."""
+
+from .analysis import (
+    ConfidenceSplit,
+    confidence_analysis,
+    per_angle_instability,
+    within_environment_instability,
+)
+from .instability import (
+    accuracy,
+    image_stability_breakdown,
+    instability,
+    per_class_accuracy,
+    per_class_instability,
+    per_environment_accuracy,
+    unstable_image_ids,
+)
+from .pr_curves import PRCurve, average_precision, micro_average_pr, precision_recall
+from .records import ExperimentResult, PredictionRecord
+from .report import format_percent, format_series, format_table
+from .serialize import load_result, result_from_json, result_to_json, save_result
+
+__all__ = [
+    "ConfidenceSplit",
+    "ExperimentResult",
+    "PRCurve",
+    "PredictionRecord",
+    "accuracy",
+    "average_precision",
+    "confidence_analysis",
+    "format_percent",
+    "format_series",
+    "format_table",
+    "image_stability_breakdown",
+    "instability",
+    "load_result",
+    "micro_average_pr",
+    "per_angle_instability",
+    "per_class_accuracy",
+    "per_class_instability",
+    "per_environment_accuracy",
+    "precision_recall",
+    "result_from_json",
+    "result_to_json",
+    "save_result",
+    "unstable_image_ids",
+    "within_environment_instability",
+]

@@ -1,0 +1,127 @@
+"""Secondary analyses over experiment results.
+
+These back the paper's figure panels that slice instability by angle
+(Fig. 3c), by repeat shots within a phone (Fig. 3d), and by model
+confidence (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .instability import image_stability_breakdown, instability
+from .records import ExperimentResult, PredictionRecord
+
+__all__ = [
+    "per_angle_instability",
+    "within_environment_instability",
+    "ConfidenceSplit",
+    "confidence_analysis",
+]
+
+
+def per_angle_instability(result: ExperimentResult, k: int = 1) -> Dict[float, float]:
+    """Cross-environment instability computed separately per rig angle.
+
+    Records must carry ``angle``; images are compared across environments
+    *within* the same angle (Fig. 3c).
+    """
+    angles = sorted({r.angle for r in result if r.angle is not None})
+    if not angles:
+        raise ValueError("records carry no angle information")
+    out: Dict[float, float] = {}
+    for angle in angles:
+        subset = result.filter(lambda r, a=angle: r.angle == a)
+        out[float(angle)] = instability(subset, k)
+    return out
+
+
+def within_environment_instability(
+    result: ExperimentResult, k: int = 1
+) -> Dict[str, float]:
+    """Instability across repeat observations *within* each environment.
+
+    For one phone, the same object photographed at different angles (or
+    repeat shots) counts as the set of nearly-identical inputs; divergence
+    among them is the phone's self-instability (Fig. 3d). Implemented by
+    relabeling each environment's records as pseudo-environments keyed by
+    angle/repeat and reusing the cross-environment metric.
+    """
+    out: Dict[str, float] = {}
+    for env in result.environments():
+        subset = result.for_environment(env)
+        relabeled = [
+            PredictionRecord(
+                environment=f"{r.angle}/{r.metadata.get('repeat', 0)}",
+                image_id=r.metadata.get("object_key", r.image_id),
+                true_label=r.true_label,
+                predicted_label=r.predicted_label,
+                confidence=r.confidence,
+                class_name=r.class_name,
+                ranking=r.ranking,
+                angle=r.angle,
+                metadata=r.metadata,
+            )
+            for r in subset
+        ]
+        out[env] = instability(ExperimentResult(relabeled), k)
+    return out
+
+
+@dataclass(frozen=True)
+class ConfidenceSplit:
+    """Confidence distributions split by stability and correctness (Fig. 4)."""
+
+    stable_correct: np.ndarray
+    stable_incorrect: np.ndarray
+    unstable_correct: np.ndarray
+    unstable_incorrect: np.ndarray
+
+    def summary(self) -> Dict[str, Tuple[float, float]]:
+        """(mean, std) per group, empty groups reported as (nan, nan)."""
+        def stats(arr: np.ndarray) -> Tuple[float, float]:
+            if arr.size == 0:
+                return (float("nan"), float("nan"))
+            return (float(arr.mean()), float(arr.std()))
+
+        return {
+            "stable_correct": stats(self.stable_correct),
+            "stable_incorrect": stats(self.stable_incorrect),
+            "unstable_correct": stats(self.unstable_correct),
+            "unstable_incorrect": stats(self.unstable_incorrect),
+        }
+
+
+def confidence_analysis(result: ExperimentResult, k: int = 1) -> ConfidenceSplit:
+    """Split prediction confidences by image stability and correctness.
+
+    For stable images all records share correctness, so the stable groups
+    collect all their confidences. For unstable images the records are
+    divided into the correct and the incorrect side — the paper's Fig. 4b
+    compares exactly those two distributions.
+    """
+    breakdown = image_stability_breakdown(result, k)
+    stable_correct_ids = set(breakdown["stable_correct"])
+    stable_incorrect_ids = set(breakdown["stable_incorrect"])
+    unstable_ids = set(breakdown["unstable"])
+
+    sc: List[float] = []
+    si: List[float] = []
+    uc: List[float] = []
+    ui: List[float] = []
+    for r in result:
+        if r.image_id in stable_correct_ids:
+            sc.append(r.confidence)
+        elif r.image_id in stable_incorrect_ids:
+            si.append(r.confidence)
+        elif r.image_id in unstable_ids:
+            (uc if r.is_correct(k) else ui).append(r.confidence)
+    return ConfidenceSplit(
+        stable_correct=np.array(sc),
+        stable_incorrect=np.array(si),
+        unstable_correct=np.array(uc),
+        unstable_incorrect=np.array(ui),
+    )

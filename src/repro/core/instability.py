@@ -1,0 +1,132 @@
+"""The instability metric (the paper's §2.2 definition) and companions.
+
+A displayed image is *unstable* when, across the environments that saw
+it, at least one environment classified it correctly and at least one
+classified it clearly incorrectly. Images on which *every* environment
+is wrong are not counted as unstable — the paper argues one wrong answer
+cannot be called "more incorrect" than another — and images seen by only
+one environment are excluded from the denominator entirely.
+
+``instability(result)`` therefore returns::
+
+    # unstable images / # images observed in >= 2 environments
+
+with top-k generalization via ``k`` (used by the §9.3 task-simplification
+mitigation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .records import ExperimentResult, PredictionRecord
+
+__all__ = [
+    "accuracy",
+    "instability",
+    "per_class_instability",
+    "per_class_accuracy",
+    "per_environment_accuracy",
+    "unstable_image_ids",
+    "image_stability_breakdown",
+]
+
+
+def accuracy(result: ExperimentResult, k: int = 1) -> float:
+    """Fraction of records whose top-k contains the true label."""
+    if not len(result):
+        raise ValueError("empty result")
+    return float(np.mean([r.is_correct(k) for r in result]))
+
+
+def _image_flags(
+    records: List[PredictionRecord], k: int
+) -> Optional[Tuple[bool, bool]]:
+    """(any_correct, any_incorrect) for one image, or None if < 2 envs."""
+    envs = {r.environment for r in records}
+    if len(envs) < 2:
+        return None
+    correct = [r.is_correct(k) for r in records]
+    return any(correct), not all(correct)
+
+
+def unstable_image_ids(result: ExperimentResult, k: int = 1) -> List[int]:
+    """Ids of images with at least one correct and one incorrect prediction."""
+    ids = []
+    for image_id, records in result.by_image().items():
+        flags = _image_flags(records, k)
+        if flags is not None and flags[0] and flags[1]:
+            ids.append(image_id)
+    return sorted(ids)
+
+
+def instability(result: ExperimentResult, k: int = 1) -> float:
+    """The paper's headline metric; see module docstring."""
+    n_unstable = 0
+    n_eligible = 0
+    for records in result.by_image().values():
+        flags = _image_flags(records, k)
+        if flags is None:
+            continue
+        n_eligible += 1
+        if flags[0] and flags[1]:
+            n_unstable += 1
+    if n_eligible == 0:
+        raise ValueError(
+            "no image was observed in two or more environments; "
+            "instability is undefined"
+        )
+    return n_unstable / n_eligible
+
+
+def image_stability_breakdown(
+    result: ExperimentResult, k: int = 1
+) -> Dict[str, List[int]]:
+    """Partition image ids into stable-correct / stable-incorrect / unstable.
+
+    Backs the paper's Figure 4 confidence analysis.
+    """
+    out: Dict[str, List[int]] = {
+        "stable_correct": [],
+        "stable_incorrect": [],
+        "unstable": [],
+    }
+    for image_id, records in result.by_image().items():
+        flags = _image_flags(records, k)
+        if flags is None:
+            continue
+        any_correct, any_incorrect = flags
+        if any_correct and any_incorrect:
+            out["unstable"].append(image_id)
+        elif any_correct:
+            out["stable_correct"].append(image_id)
+        else:
+            out["stable_incorrect"].append(image_id)
+    for ids in out.values():
+        ids.sort()
+    return out
+
+
+def per_class_instability(result: ExperimentResult, k: int = 1) -> Dict[str, float]:
+    """Instability computed separately per ground-truth class (Fig. 3b)."""
+    return {
+        cls: instability(result.for_class(cls), k) for cls in result.classes()
+    }
+
+
+def per_class_accuracy(
+    result: ExperimentResult, k: int = 1
+) -> Dict[str, float]:
+    return {cls: accuracy(result.for_class(cls), k) for cls in result.classes()}
+
+
+def per_environment_accuracy(
+    result: ExperimentResult, k: int = 1
+) -> Dict[str, float]:
+    """Accuracy per environment (Fig. 3a: accuracy by phone model)."""
+    return {
+        env: accuracy(result.for_environment(env), k)
+        for env in result.environments()
+    }

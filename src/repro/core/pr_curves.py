@@ -1,0 +1,94 @@
+"""Precision-recall curves (paper Fig. 7).
+
+One-vs-rest curves per class from prediction confidences, plus a
+micro-averaged curve used to compare the stability-training schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .records import ExperimentResult
+
+__all__ = ["PRCurve", "precision_recall", "micro_average_pr", "average_precision"]
+
+
+@dataclass(frozen=True)
+class PRCurve:
+    """A precision-recall curve as parallel arrays, high-threshold first."""
+
+    precision: np.ndarray
+    recall: np.ndarray
+    thresholds: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.precision) == len(self.recall) == len(self.thresholds)):
+            raise ValueError("PR arrays must be the same length")
+
+
+def _pr_from_scores(scores: np.ndarray, positives: np.ndarray) -> PRCurve:
+    """Build a PR curve from per-example scores and boolean relevance."""
+    if scores.size == 0:
+        raise ValueError("no scores")
+    order = np.argsort(-scores, kind="stable")
+    sorted_pos = positives[order].astype(np.float64)
+    tp = np.cumsum(sorted_pos)
+    fp = np.cumsum(1.0 - sorted_pos)
+    total_pos = sorted_pos.sum()
+    if total_pos == 0:
+        raise ValueError("no positive examples")
+    precision = tp / np.maximum(tp + fp, 1e-12)
+    recall = tp / total_pos
+    return PRCurve(
+        precision=precision, recall=recall, thresholds=scores[order]
+    )
+
+
+def precision_recall(result: ExperimentResult, class_index: int) -> PRCurve:
+    """One-vs-rest PR curve for one class (by integer label).
+
+    Records that carry full class probabilities (``metadata["probabilities"]``,
+    as every experiment in :mod:`repro.lab` stores) are scored with
+    ``P(class | x)``. Records without them fall back to the top-1
+    confidence when the class was predicted and 0 otherwise.
+    """
+    records = list(result)
+    if not records:
+        raise ValueError("empty result")
+    scores = []
+    positives = []
+    for r in records:
+        proba = r.metadata.get("probabilities")
+        if proba is not None:
+            scores.append(float(proba[class_index]))
+        else:
+            scores.append(r.confidence if r.predicted_label == class_index else 0.0)
+        positives.append(r.true_label == class_index)
+    return _pr_from_scores(np.array(scores), np.array(positives))
+
+
+def micro_average_pr(
+    results_proba: np.ndarray, labels: np.ndarray
+) -> PRCurve:
+    """Micro-averaged PR over all (example, class) decisions.
+
+    ``results_proba`` is ``(N, C)`` class probabilities; ``labels`` the
+    integer ground truth. Every (example, class) pair becomes one scored
+    decision — the standard micro-averaging used for multi-class PR.
+    """
+    n, c = results_proba.shape
+    if labels.shape != (n,):
+        raise ValueError("labels shape mismatch")
+    scores = results_proba.ravel()
+    positives = np.zeros((n, c), dtype=bool)
+    positives[np.arange(n), labels] = True
+    return _pr_from_scores(scores, positives.ravel())
+
+
+def average_precision(curve: PRCurve) -> float:
+    """Area under the PR curve via the step-wise (rectangular) rule."""
+    recall = np.concatenate([[0.0], curve.recall])
+    return float(np.sum((recall[1:] - recall[:-1]) * curve.precision))

@@ -1,0 +1,130 @@
+"""Prediction records: the data model every experiment produces.
+
+A :class:`PredictionRecord` is one inference outcome of one *displayed
+image* (an object staged on the rig's screen, at one angle) in one
+*environment* (a phone model, a compression setting, an ISP, an OS — the
+paper's §2.2 notion of environment). Experiments return an
+:class:`ExperimentResult`, a queryable collection of records, which the
+metric layer (:mod:`repro.core.instability`) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PredictionRecord", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """One model prediction in one environment.
+
+    Attributes
+    ----------
+    environment:
+        The environment label — phone name, codec setting, ISP name...
+    image_id:
+        Identifies the underlying displayed image; records sharing an
+        ``image_id`` are predictions on *nearly identical input* and are
+        what the instability metric compares across environments.
+    true_label / predicted_label:
+        Integer class ids; ``class_name`` carries the readable label.
+    confidence:
+        The model's probability for its top prediction.
+    ranking:
+        All class ids sorted by descending probability (for top-k).
+    angle:
+        The rig angle in degrees, when applicable.
+    """
+
+    environment: str
+    image_id: int
+    true_label: int
+    predicted_label: int
+    confidence: float
+    class_name: str
+    ranking: Tuple[int, ...] = ()
+    angle: Optional[float] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+    #: Labels accepted as correct besides ``true_label``. The paper's §3.2
+    #: uses this for overlapping ImageNet classes ("wine bottle" and
+    #: "red wine" both count for a bottle of red).
+    acceptable_labels: Tuple[int, ...] = ()
+
+    def is_correct(self, k: int = 1) -> bool:
+        """Is the true label (or an acceptable alias) within the top-k?"""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        accepted = {self.true_label, *self.acceptable_labels}
+        if k == 1:
+            return self.predicted_label in accepted
+        if not self.ranking:
+            raise ValueError("record has no ranking; cannot evaluate top-k")
+        return bool(accepted & set(self.ranking[:k]))
+
+
+class ExperimentResult:
+    """An ordered, queryable collection of prediction records."""
+
+    def __init__(self, records: Sequence[PredictionRecord], name: str = "") -> None:
+        self.records: List[PredictionRecord] = list(records)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def extend(self, records: Iterable[PredictionRecord]) -> None:
+        self.records.extend(records)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def environments(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.environment, None)
+        return list(seen)
+
+    def classes(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.class_name, None)
+        return list(seen)
+
+    def for_environment(self, environment: str) -> "ExperimentResult":
+        return ExperimentResult(
+            [r for r in self.records if r.environment == environment],
+            name=f"{self.name}/{environment}",
+        )
+
+    def for_class(self, class_name: str) -> "ExperimentResult":
+        return ExperimentResult(
+            [r for r in self.records if r.class_name == class_name],
+            name=f"{self.name}/{class_name}",
+        )
+
+    def by_image(self) -> Dict[int, List[PredictionRecord]]:
+        """Group records by displayed image."""
+        groups: Dict[int, List[PredictionRecord]] = {}
+        for r in self.records:
+            groups.setdefault(r.image_id, []).append(r)
+        return groups
+
+    def confidences(self) -> np.ndarray:
+        return np.array([r.confidence for r in self.records], dtype=np.float64)
+
+    def filter(self, predicate) -> "ExperimentResult":
+        return ExperimentResult(
+            [r for r in self.records if predicate(r)], name=self.name
+        )
+
+    def merged_with(self, other: "ExperimentResult") -> "ExperimentResult":
+        return ExperimentResult(
+            self.records + other.records, name=self.name or other.name
+        )

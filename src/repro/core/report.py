@@ -1,0 +1,46 @@
+"""Plain-text report formatting for experiment outputs.
+
+The benchmark harness prints the same rows the paper's tables report;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_percent", "format_series"]
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Render a fraction as a percentage string, e.g. 0.0766 -> '7.66%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    headers = [str(h) for h in headers]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Dict[object, float], percent: bool = True) -> str:
+    """Render a keyed series (e.g. per-class instability) as lines."""
+    lines: List[str] = []
+    for key, value in series.items():
+        rendered = format_percent(value) if percent else f"{value:.4f}"
+        lines.append(f"  {key}: {rendered}")
+    return "\n".join(lines)

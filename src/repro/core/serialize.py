@@ -1,0 +1,95 @@
+"""JSON serialization for experiment results.
+
+A measurement study's raw output is its prediction records; persisting
+them lets the analyses (instability, confidence splits, PR curves) be
+recomputed later or shared without re-running captures. The format is
+plain JSON — one object with a ``records`` list — so results can be
+diffed, versioned, and consumed outside Python.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .records import ExperimentResult, PredictionRecord
+
+__all__ = ["result_to_json", "result_from_json", "save_result", "load_result"]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_json(result: ExperimentResult) -> str:
+    """Serialize a result to a JSON string."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "name": result.name,
+        "records": [
+            {
+                "environment": r.environment,
+                "image_id": r.image_id,
+                "true_label": r.true_label,
+                "predicted_label": r.predicted_label,
+                "confidence": r.confidence,
+                "class_name": r.class_name,
+                "ranking": list(r.ranking),
+                "angle": r.angle,
+                "metadata": _jsonable(r.metadata),
+                "acceptable_labels": list(r.acceptable_labels),
+            }
+            for r in result
+        ],
+    }
+    return json.dumps(payload)
+
+
+def _jsonable(value):
+    """Coerce metadata values to JSON-representable types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    # NumPy scalars and anything else numeric-like.
+    try:
+        return value.item()  # type: ignore[union-attr]
+    except AttributeError:
+        return str(value)
+
+
+def result_from_json(text: str) -> ExperimentResult:
+    """Deserialize a result produced by :func:`result_to_json`."""
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version {version!r}")
+    records = [
+        PredictionRecord(
+            environment=r["environment"],
+            image_id=int(r["image_id"]),
+            true_label=int(r["true_label"]),
+            predicted_label=int(r["predicted_label"]),
+            confidence=float(r["confidence"]),
+            class_name=r["class_name"],
+            ranking=tuple(int(c) for c in r["ranking"]),
+            angle=r["angle"],
+            metadata=r.get("metadata", {}),
+            acceptable_labels=tuple(int(c) for c in r.get("acceptable_labels", [])),
+        )
+        for r in payload["records"]
+    ]
+    return ExperimentResult(records, name=payload.get("name", ""))
+
+
+def save_result(result: ExperimentResult, path: Union[str, Path]) -> None:
+    """Write a result to disk as JSON."""
+    Path(path).write_text(result_to_json(result))
+
+
+def load_result(path: Union[str, Path]) -> ExperimentResult:
+    """Read a result written by :func:`save_result`."""
+    return result_from_json(Path(path).read_text())

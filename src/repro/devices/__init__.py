@@ -1,0 +1,18 @@
+"""Phone device models: profiles, capture paths, OS loaders, runtimes."""
+
+from .os_sim import DECODER_FAMILIES, OSDecoderProfile, content_hash
+from .phone import Phone
+from .profiles import DeviceProfile, capture_fleet, firebase_fleet
+from .runtime import DeviceRuntime, Prediction
+
+__all__ = [
+    "DECODER_FAMILIES",
+    "DeviceProfile",
+    "DeviceRuntime",
+    "OSDecoderProfile",
+    "Phone",
+    "Prediction",
+    "capture_fleet",
+    "content_hash",
+    "firebase_fleet",
+]

@@ -1,0 +1,68 @@
+"""Operating-system image-loading simulation.
+
+The paper's §7 traces the small cross-SoC instability (0.64%) to the OS's
+JPEG decoding, not the processor: Huawei and Xiaomi phones produced JPEG
+pixel buffers with different MD5 hashes than the other three phones,
+while PNG decoded identically everywhere. The mechanism is real —
+Android vendors ship different libjpeg-turbo builds / hardware JPEG
+decoders whose IDCT and rounding differ at the last bit.
+
+:class:`OSDecoderProfile` captures one OS build's decoding behaviour:
+which IDCT implementation its JPEG decoder uses, how it rounds, and how
+it upsamples chroma. PNG decoding takes no options because the format is
+bit-exact by construction — which is why the PNG arm of the experiment
+shows zero instability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..codecs.jpeg import JpegDecodeOptions, decode_jpeg
+from ..codecs.png import decode_png
+from ..codecs.registry import sniff_format
+from ..imaging.image import ImageBuffer
+
+__all__ = ["OSDecoderProfile", "content_hash", "DECODER_FAMILIES"]
+
+
+@dataclass(frozen=True)
+class OSDecoderProfile:
+    """One OS build's image-decoding behaviour."""
+
+    name: str
+    jpeg_options: JpegDecodeOptions = JpegDecodeOptions()
+
+    def load(self, data: bytes) -> ImageBuffer:
+        """Decode an image file the way this OS would."""
+        fmt = sniff_format(data)
+        if fmt == "jpeg":
+            return decode_jpeg(data, self.jpeg_options)
+        if fmt == "png":
+            return decode_png(data)
+        raise ValueError(f"OS loader does not handle format {fmt!r}")
+
+
+#: The decoder families observed in the paper's Firebase experiment:
+#: a mainline family (Samsung / Pixel / Sony) and a divergent family
+#: (Huawei / Xiaomi) that hashes differently on JPEG.
+DECODER_FAMILIES = {
+    "mainline": OSDecoderProfile(
+        name="mainline",
+        jpeg_options=JpegDecodeOptions(
+            idct="float", rounding="round", chroma_upsample="bilinear"
+        ),
+    ),
+    "vendor_neon": OSDecoderProfile(
+        name="vendor_neon",
+        jpeg_options=JpegDecodeOptions(
+            idct="fixed8", rounding="truncate", chroma_upsample="bilinear"
+        ),
+    ),
+}
+
+
+def content_hash(image: ImageBuffer) -> str:
+    """MD5 of the decoded 8-bit pixel buffer (the paper's §7 diagnostic)."""
+    return hashlib.md5(image.to_uint8().tobytes()).hexdigest()

@@ -1,0 +1,210 @@
+"""Device profiles: the paper's two phone fleets.
+
+``capture_fleet()`` builds the five phones of Table 1 (the end-to-end
+rig); ``firebase_fleet()`` builds the five phones of Table 5 (the
+OS/processor experiment). Each profile composes a sensor, optics, an ISP
+profile, a default save format, raw capability, and an OS decoder family
+— the axes §§4-7 of the paper vary.
+
+Parameter choices follow each device's market tier: the Galaxy S10 and
+iPhone XR get clean large-photosite sensors, good optics, and raw
+support; the LG K10, HTC Desire 10, and Moto G5 get noisier sensors,
+stronger vignetting, and lower JPEG quality settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..sensor.noise import SensorNoiseModel
+from ..sensor.optics import LensModel
+from ..sensor.sensor import SensorConfig
+from .os_sim import DECODER_FAMILIES, OSDecoderProfile
+
+__all__ = ["DeviceProfile", "capture_fleet", "firebase_fleet"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Everything that characterizes one phone model."""
+
+    name: str
+    #: Vendor model code, as reported in the paper's Table 1 / Table 5.
+    model_code: str
+    sensor: SensorConfig
+    #: Name of the ISP profile in :mod:`repro.isp.profiles`.
+    isp: str
+    #: Default save format ("jpeg" or "heif") and its quality setting.
+    save_format: str = "jpeg"
+    save_quality: int = 90
+    supports_raw: bool = False
+    os_decoder: OSDecoderProfile = field(
+        default_factory=lambda: DECODER_FAMILIES["mainline"]
+    )
+    #: SoC marketing name (Table 5); informational.
+    soc: str = ""
+
+
+def _sensor(
+    sensitivity: Tuple[float, float, float],
+    exposure: float,
+    full_well: float,
+    read_noise: float,
+    vignetting: float,
+    blur: float,
+    chroma_ab: float,
+    seed: int,
+    pattern: str = "RGGB",
+) -> SensorConfig:
+    return SensorConfig(
+        resolution=(96, 96),
+        pattern=pattern,
+        channel_sensitivity=sensitivity,
+        exposure=exposure,
+        adc_bits=10,
+        lens=LensModel(
+            vignetting=vignetting, chromatic_aberration=chroma_ab, blur_sigma=blur
+        ),
+        noise=SensorNoiseModel(
+            full_well_electrons=full_well,
+            read_noise=read_noise,
+            dark_current=0.001,
+            prnu=0.005,
+            seed=seed,
+        ),
+    )
+
+
+def capture_fleet() -> List[DeviceProfile]:
+    """The five phones of the end-to-end experiment (paper Table 1)."""
+    return [
+        DeviceProfile(
+            name="samsung_galaxy_s10",
+            model_code="SM-G973U1",
+            sensor=_sensor(
+                sensitivity=(0.575, 1.0, 0.635),
+                exposure=0.855,
+                full_well=30000,
+                read_noise=0.0015,
+                vignetting=0.06,
+                blur=0.55,
+                chroma_ab=0.001,
+                seed=11,
+            ),
+            isp="samsung_s10",
+            save_format="jpeg",
+            save_quality=92,
+            supports_raw=True,
+        ),
+        DeviceProfile(
+            name="lg_k10_lte",
+            model_code="K425",
+            sensor=_sensor(
+                sensitivity=(0.565, 1.0, 0.625),
+                exposure=0.845,
+                full_well=15000,
+                read_noise=0.002,
+                vignetting=0.10,
+                blur=0.70,
+                chroma_ab=0.002,
+                seed=12,
+            ),
+            isp="lg_k10",
+            save_format="jpeg",
+            save_quality=85,
+        ),
+        DeviceProfile(
+            name="htc_desire_10_lifestyle",
+            model_code="DESIRE 10",
+            sensor=_sensor(
+                sensitivity=(0.568, 1.0, 0.628),
+                exposure=0.848,
+                full_well=17000,
+                read_noise=0.0018,
+                vignetting=0.09,
+                blur=0.65,
+                chroma_ab=0.0018,
+                seed=13,
+            ),
+            isp="htc_desire10",
+            save_format="jpeg",
+            save_quality=87,
+        ),
+        DeviceProfile(
+            name="motorola_moto_g5",
+            model_code="XT1670",
+            sensor=_sensor(
+                sensitivity=(0.57, 1.0, 0.63),
+                exposure=0.85,
+                full_well=19000,
+                read_noise=0.0017,
+                vignetting=0.08,
+                blur=0.62,
+                chroma_ab=0.0015,
+                seed=14,
+            ),
+            isp="moto_g5",
+            save_format="jpeg",
+            save_quality=88,
+        ),
+        DeviceProfile(
+            name="iphone_xr",
+            model_code="A1984",
+            sensor=_sensor(
+                sensitivity=(0.578, 1.0, 0.638),
+                exposure=0.858,
+                full_well=32000,
+                read_noise=0.0013,
+                vignetting=0.055,
+                blur=0.52,
+                chroma_ab=0.0008,
+                seed=15,
+            ),
+            isp="iphone_xr",
+            save_format="heif",
+            save_quality=68,
+            supports_raw=True,
+        ),
+    ]
+
+
+def firebase_fleet() -> List[DeviceProfile]:
+    """The five phones of the OS/processor experiment (paper Table 5).
+
+    These phones never photograph anything — the experiment pushes a fixed
+    set of image files to each and runs inference — so only the OS decoder
+    family matters. Huawei and Xiaomi share a divergent JPEG decoder
+    build; Samsung, Pixel, and Sony share the mainline one, reproducing
+    the two MD5 camps the paper observed.
+    """
+    base_sensor = _sensor(
+        sensitivity=(0.57, 1.0, 0.63),
+        exposure=0.85,
+        full_well=25000,
+        read_noise=0.002,
+        vignetting=0.08,
+        blur=0.6,
+        chroma_ab=0.001,
+        seed=20,
+    )
+    mainline = DECODER_FAMILIES["mainline"]
+    vendor = DECODER_FAMILIES["vendor_neon"]
+    entries = [
+        ("samsung_galaxy_note8", "EXYNOS 9 OCTA 8895", mainline),
+        ("huawei_mate_rs", "HISILICON KIRIN 970", vendor),
+        ("pixel_2", "SNAPDRAGON 835", mainline),
+        ("sony_xz3", "SNAPDRAGON 845", mainline),
+        ("xiaomi_mi_8_pro", "HELIO G90T (MT6785T)", vendor),
+    ]
+    return [
+        DeviceProfile(
+            name=name,
+            model_code=name.upper(),
+            sensor=base_sensor,
+            isp="imagemagick",
+            os_decoder=decoder,
+            soc=soc,
+        )
+        for name, soc, decoder in entries
+    ]

@@ -1,0 +1,34 @@
+"""Image signal processor: staged raw-to-RGB pipelines and vendor profiles."""
+
+from .pipeline import ISPPipeline
+from .profiles import available_isps, build_isp
+from .stages import (
+    BlackLevelCorrection,
+    ColorCorrection,
+    Demosaic,
+    Denoise,
+    GammaEncode,
+    ISPStage,
+    ISPState,
+    Resize,
+    Sharpen,
+    ToneMap,
+    WhiteBalance,
+)
+
+__all__ = [
+    "BlackLevelCorrection",
+    "ColorCorrection",
+    "Demosaic",
+    "Denoise",
+    "GammaEncode",
+    "ISPPipeline",
+    "ISPStage",
+    "ISPState",
+    "Resize",
+    "Sharpen",
+    "ToneMap",
+    "WhiteBalance",
+    "available_isps",
+    "build_isp",
+]

@@ -1,0 +1,207 @@
+"""Named ISP profiles: per-vendor pipelines and software converters.
+
+Two families:
+
+* **Vendor profiles** — the on-phone ISPs of the paper's five capture
+  devices (Table 1). Each differs in demosaic algorithm, white-balance
+  policy, color matrix, tone curve, denoising, and sharpening, which is
+  how real phones from different vendors develop the same raw light into
+  different pictures.
+
+* **Software ISPs** — ``imagemagick`` and ``adobe``, the two raw
+  converters the paper uses as simulated ISPs in §6 (following Buckler et
+  al. 2017). They share no tuning: the "imagemagick" profile is a plain
+  technically-neutral conversion, the "adobe" profile applies an opinionated
+  look (stronger tone curve, warmer balance, more sharpening), so
+  converting the same raw file through both yields the paper's Table 4
+  divergence.
+
+All profile builders are pure functions of their parameters, so two calls
+give identical pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from .pipeline import ISPPipeline
+from .stages import (
+    BlackLevelCorrection,
+    ColorCorrection,
+    Demosaic,
+    Denoise,
+    GammaEncode,
+    Resize,
+    Sharpen,
+    ToneMap,
+    WhiteBalance,
+)
+
+__all__ = ["build_isp", "available_isps"]
+
+
+def _ccm(diag: float, leak: float, tint: float = 0.0) -> np.ndarray:
+    """A plausible color-correction matrix.
+
+    ``diag`` sets saturation strength, ``leak`` the off-diagonal
+    cross-talk compensation, ``tint`` a red/blue asymmetry.
+    """
+    matrix = np.full((3, 3), -leak, dtype=np.float32)
+    np.fill_diagonal(matrix, diag)
+    matrix[0, 0] += tint
+    matrix[2, 2] -= tint
+    # Rows sum to ~1 so neutral stays neutral.
+    matrix += (1.0 - matrix.sum(axis=1, keepdims=True)) / 3.0
+    return matrix
+
+
+def _samsung_s10(out_h: int, out_w: int) -> ISPPipeline:
+    """Punchy consumer look: strong tone curve, saturated CCM, sharp."""
+    return ISPPipeline(
+        [
+            BlackLevelCorrection(),
+            Demosaic("malvar"),
+            WhiteBalance("as_shot", strength=0.96),
+            ColorCorrection(_ccm(1.46, 0.23, tint=-0.04)),
+            ToneMap(strength=0.33),
+            GammaEncode("srgb"),
+            Denoise(luma_sigma=0.35, chroma_sigma=1.1),
+            Sharpen(amount=0.55, sigma=0.9),
+            Resize(out_h, out_w),
+        ],
+        name="samsung_s10",
+    )
+
+
+def _lg_k10(out_h: int, out_w: int) -> ISPPipeline:
+    """Budget pipeline: bilinear demosaic, heavy denoise, soft output."""
+    return ISPPipeline(
+        [
+            BlackLevelCorrection(),
+            Demosaic("bilinear"),
+            WhiteBalance("gray_world", strength=0.98),
+            ColorCorrection(_ccm(1.40, 0.19)),
+            ToneMap(strength=0.28),
+            GammaEncode("power", gamma=2.2),
+            Denoise(luma_sigma=0.7, chroma_sigma=1.6),
+            Sharpen(amount=0.35, sigma=1.2),
+            Resize(out_h, out_w),
+        ],
+        name="lg_k10",
+    )
+
+
+def _htc_desire10(out_h: int, out_w: int) -> ISPPipeline:
+    """Mid-range: bilinear demosaic but aggressive sharpening."""
+    return ISPPipeline(
+        [
+            BlackLevelCorrection(),
+            Demosaic("bilinear"),
+            WhiteBalance("as_shot", strength=0.92),
+            ColorCorrection(_ccm(1.42, 0.21, tint=-0.01)),
+            ToneMap(strength=0.32),
+            GammaEncode("srgb"),
+            Denoise(luma_sigma=0.5, chroma_sigma=1.3),
+            Sharpen(amount=0.7, sigma=0.8),
+            Resize(out_h, out_w),
+        ],
+        name="htc_desire10",
+    )
+
+
+def _moto_g5(out_h: int, out_w: int) -> ISPPipeline:
+    """Conservative pipeline: neutral color, mild everything."""
+    return ISPPipeline(
+        [
+            BlackLevelCorrection(),
+            Demosaic("malvar"),
+            WhiteBalance("gray_world", strength=0.95),
+            ColorCorrection(_ccm(1.36, 0.17)),
+            ToneMap(strength=0.26),
+            GammaEncode("power", gamma=2.25),
+            Denoise(luma_sigma=0.45, chroma_sigma=1.2),
+            Sharpen(amount=0.45, sigma=1.0),
+            Resize(out_h, out_w),
+        ],
+        name="moto_g5",
+    )
+
+
+def _iphone_xr(out_h: int, out_w: int) -> ISPPipeline:
+    """Apple look: natural tone, accurate color, restrained sharpening."""
+    return ISPPipeline(
+        [
+            BlackLevelCorrection(),
+            Demosaic("malvar"),
+            WhiteBalance("as_shot", strength=1.0),
+            ColorCorrection(_ccm(1.52, 0.26, tint=0.05)),
+            ToneMap(strength=0.38),
+            GammaEncode("srgb"),
+            Denoise(luma_sigma=0.3, chroma_sigma=0.9),
+            Sharpen(amount=0.55, sigma=1.0),
+            Resize(out_h, out_w),
+        ],
+        name="iphone_xr",
+    )
+
+
+def _imagemagick(out_h: int, out_w: int) -> ISPPipeline:
+    """Neutral software conversion: no look, just develop the raw."""
+    return ISPPipeline(
+        [
+            BlackLevelCorrection(),
+            Demosaic("bilinear"),
+            WhiteBalance("as_shot", strength=1.0),
+            ColorCorrection(_ccm(1.40, 0.20)),
+            ToneMap(strength=0.0),
+            GammaEncode("srgb"),
+            Resize(out_h, out_w),
+        ],
+        name="imagemagick",
+    )
+
+
+def _adobe(out_h: int, out_w: int) -> ISPPipeline:
+    """Opinionated software conversion: Adobe-style default develop."""
+    return ISPPipeline(
+        [
+            BlackLevelCorrection(),
+            Demosaic("malvar"),
+            WhiteBalance("gray_world", strength=0.92),
+            ColorCorrection(_ccm(1.58, 0.28, tint=0.04)),
+            ToneMap(strength=0.5),
+            GammaEncode("power", gamma=2.35),
+            Denoise(luma_sigma=0.25, chroma_sigma=0.8),
+            Sharpen(amount=0.9, sigma=0.9),
+            Resize(out_h, out_w),
+        ],
+        name="adobe",
+    )
+
+
+_BUILDERS: Dict[str, Callable[[int, int], ISPPipeline]] = {
+    "samsung_s10": _samsung_s10,
+    "lg_k10": _lg_k10,
+    "htc_desire10": _htc_desire10,
+    "moto_g5": _moto_g5,
+    "iphone_xr": _iphone_xr,
+    "imagemagick": _imagemagick,
+    "adobe": _adobe,
+}
+
+
+def build_isp(name: str, out_height: int = 96, out_width: int = 96) -> ISPPipeline:
+    """Instantiate a named ISP profile at the given output resolution."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown ISP profile {name!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+    return builder(out_height, out_width)
+
+
+def available_isps() -> List[str]:
+    return sorted(_BUILDERS)

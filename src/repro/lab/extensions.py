@@ -1,0 +1,159 @@
+"""Extension experiments: the paper's future-work axes (§11).
+
+The paper scopes out "variations in cameras and lenses, lighting and
+visibility conditions" as future sources of instability. The simulator
+makes them measurable today:
+
+* :class:`LightingVariationExperiment` — the same objects re-staged under
+  different studio brightness / color temperature, photographed by one
+  phone; instability across lighting levels.
+* :class:`LensVariationExperiment` — unit-to-unit optics variation: the
+  *same phone model* with slightly different lens builds (blur /
+  vignetting tolerances), as happens across manufacturing batches;
+  instability across units.
+
+Both reuse the §2.2 metric unchanged: an "environment" is just whatever
+varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+from zlib import crc32
+
+import numpy as np
+
+from ..codecs.registry import decode_any
+from ..core.records import ExperimentResult
+from ..devices.phone import Phone
+from ..devices.profiles import DeviceProfile, capture_fleet
+from ..devices.runtime import DeviceRuntime
+from ..nn.model import Model
+from ..scenes.dataset import build_dataset
+from ..scenes.scene import Scene
+from ..scenes.screen import Screen
+from .common import make_record, resolve_model
+from .rig import CaptureRig
+
+__all__ = ["LightingVariationExperiment", "LensVariationExperiment"]
+
+
+class LightingVariationExperiment:
+    """Instability across lighting conditions, one phone (§11 future work)."""
+
+    #: (label, brightness multiplier, warmth) staging conditions.
+    CONDITIONS = (
+        ("dim_warm", 0.75, 0.06),
+        ("nominal", 1.0, 0.0),
+        ("bright_cool", 1.15, -0.06),
+    )
+
+    def __init__(
+        self,
+        phone: Optional[DeviceProfile] = None,
+        model: Optional[Model] = None,
+        seed: int = 0,
+    ) -> None:
+        self.profile = phone or capture_fleet()[0]
+        self.runtime = DeviceRuntime(resolve_model(model))
+        self.seed = seed
+
+    def run(self, per_class: int = 8) -> ExperimentResult:
+        dataset = build_dataset(per_class=per_class, seed=self.seed)
+        screen = Screen(seed=self.seed)
+        phone = Phone(self.profile)
+        result = ExperimentResult([], name="lighting_variation")
+        for label, brightness, warmth in self.CONDITIONS:
+            rng = np.random.default_rng((self.seed, crc32(label.encode())))
+            relit = [
+                replace(item, scene=replace(item.scene, brightness=brightness, warmth=warmth))
+                for item in dataset
+            ]
+            rig = CaptureRig(screen=screen, angles=(0.0,))
+            displayed = rig.present(relit)
+            images = [
+                decode_any(phone.photograph(shown.radiance, rng))
+                for shown in displayed
+            ]
+            predictions = self.runtime.predict(images)
+            result.extend(
+                make_record(pred, shown, environment=label, image_id=i)
+                for i, (pred, shown) in enumerate(zip(predictions, displayed))
+            )
+        return result
+
+
+class LensVariationExperiment:
+    """Instability across manufacturing units of one phone model.
+
+    Models the paper's observation (§6, citing Rameshwar 2019) that units
+    of the *same phone model* can differ in their imaging components: each
+    simulated unit perturbs the nominal lens (blur, vignetting) within
+    plausible assembly tolerances.
+    """
+
+    def __init__(
+        self,
+        phone: Optional[DeviceProfile] = None,
+        model: Optional[Model] = None,
+        units: int = 4,
+        blur_tolerance: float = 0.15,
+        vignette_tolerance: float = 0.03,
+        seed: int = 0,
+    ) -> None:
+        if units < 2:
+            raise ValueError("need at least two units to compare")
+        self.profile = phone or capture_fleet()[0]
+        self.runtime = DeviceRuntime(resolve_model(model))
+        self.units = units
+        self.blur_tolerance = blur_tolerance
+        self.vignette_tolerance = vignette_tolerance
+        self.seed = seed
+
+    def _unit_profiles(self) -> Sequence[DeviceProfile]:
+        rng = np.random.default_rng(self.seed + 77)
+        base = self.profile
+        units = []
+        for i in range(self.units):
+            lens = base.sensor.lens
+            new_lens = replace(
+                lens,
+                blur_sigma=max(
+                    0.1, lens.blur_sigma + float(rng.uniform(-1, 1)) * self.blur_tolerance
+                ),
+                vignetting=float(
+                    np.clip(
+                        lens.vignetting
+                        + rng.uniform(-1, 1) * self.vignette_tolerance,
+                        0.0,
+                        0.9,
+                    )
+                ),
+            )
+            sensor = replace(
+                base.sensor,
+                lens=new_lens,
+                noise=replace(base.sensor.noise, seed=base.sensor.noise.seed + i),
+            )
+            units.append(replace(base, name=f"{base.name}#unit{i}", sensor=sensor))
+        return units
+
+    def run(self, per_class: int = 8) -> ExperimentResult:
+        dataset = build_dataset(per_class=per_class, seed=self.seed)
+        rig = CaptureRig(screen=Screen(seed=self.seed), angles=(0.0,))
+        displayed = rig.present(list(dataset))
+        result = ExperimentResult([], name="lens_variation")
+        for profile in self._unit_profiles():
+            phone = Phone(profile)
+            rng = np.random.default_rng((self.seed, crc32(profile.name.encode())))
+            images = [
+                decode_any(phone.photograph(shown.radiance, rng))
+                for shown in displayed
+            ]
+            predictions = self.runtime.predict(images)
+            result.extend(
+                make_record(pred, shown, environment=profile.name)
+                for pred, shown in zip(predictions, displayed)
+            )
+        return result

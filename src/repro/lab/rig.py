@@ -1,0 +1,88 @@
+"""The controlled capture rig (paper §3.2, Fig. 2a).
+
+The rig holds a monitor and a camera mount in a light-controlled room.
+For each displayed image it produces, per angle, the *radiance field*
+arriving at the mounted phones — the synchronized-app machinery of the
+paper collapses to deterministic function composition here. Every phone
+pointed at the rig for the same (scene, angle) sees the exact same
+radiance; divergence downstream is attributable to the devices, which is
+the experimental-control property the paper's physical rig was built for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..imaging.image import ImageBuffer
+from ..imaging.ops import perspective_shift
+from ..scenes.dataset import LabeledScene
+from ..scenes.screen import Screen
+
+__all__ = ["CaptureRig", "DEFAULT_ANGLES", "DisplayedImage"]
+
+#: The paper's five capture angles: left, center-left, center,
+#: center-right, right (degrees of horizontal offset from the screen
+#: normal).
+DEFAULT_ANGLES: Tuple[float, ...] = (-30.0, -15.0, 0.0, 15.0, 30.0)
+
+
+@dataclass(frozen=True)
+class DisplayedImage:
+    """One (scene, angle) presentation on the rig.
+
+    ``image_id`` uniquely identifies the presentation: phones
+    photographing the same ``DisplayedImage`` see nearly identical input,
+    which is the unit the instability metric compares.
+    """
+
+    image_id: int
+    radiance: ImageBuffer
+    item: LabeledScene
+    angle: float
+
+
+class CaptureRig:
+    """The monitor + mount assembly."""
+
+    def __init__(
+        self,
+        screen: Screen | None = None,
+        angles: Sequence[float] = DEFAULT_ANGLES,
+        render_size: int = 96,
+    ) -> None:
+        if not angles:
+            raise ValueError("rig needs at least one angle")
+        self.screen = screen or Screen()
+        self.angles = tuple(float(a) for a in angles)
+        self.render_size = render_size
+        self._radiance_cache: Dict[int, ImageBuffer] = {}
+
+    def present(self, items: Sequence[LabeledScene]) -> List[DisplayedImage]:
+        """Display every scene at every angle; returns all presentations.
+
+        Rendering and screen simulation are deterministic, so calling
+        ``present`` twice yields identical radiance — the rig's images do
+        not change between phones (only capture noise does).
+        """
+        displayed: List[DisplayedImage] = []
+        image_id = 0
+        for item in items:
+            key = id(item)
+            base = self._radiance_cache.get(key)
+            if base is None:
+                rendered = item.scene.render(self.render_size, self.render_size)
+                base = self.screen.display(rendered)
+                self._radiance_cache[key] = base
+            for angle in self.angles:
+                if angle == 0.0:
+                    radiance = base
+                else:
+                    radiance = ImageBuffer(perspective_shift(base.pixels, angle))
+                displayed.append(
+                    DisplayedImage(
+                        image_id=image_id, radiance=radiance, item=item, angle=angle
+                    )
+                )
+                image_id += 1
+        return displayed

@@ -1,0 +1,39 @@
+"""Instability mitigation strategies (paper §9)."""
+
+from .data import StabilityCorpus, build_stability_corpus
+from .noise import (
+    DistortionNoise,
+    GaussianNoise,
+    NoNoise,
+    NoiseGenerator,
+    SubsampleNoise,
+    TwoImageNoise,
+)
+from .raw_pipeline import ConsistentRawConverter
+from .stability import (
+    StabilityTrainConfig,
+    StabilityTrainer,
+    Table6Row,
+    evaluate_cross_device_instability,
+    run_table6,
+)
+from .topk import TopKReport, simplify_task
+
+__all__ = [
+    "ConsistentRawConverter",
+    "DistortionNoise",
+    "GaussianNoise",
+    "NoNoise",
+    "NoiseGenerator",
+    "StabilityCorpus",
+    "StabilityTrainConfig",
+    "StabilityTrainer",
+    "SubsampleNoise",
+    "Table6Row",
+    "TopKReport",
+    "TwoImageNoise",
+    "build_stability_corpus",
+    "evaluate_cross_device_instability",
+    "run_table6",
+    "simplify_task",
+]

@@ -1,0 +1,198 @@
+"""Noise generators for stability training (paper §9.1).
+
+Stability training pairs every clean training image ``x`` with a
+perturbed ``x'``. The paper evaluates four ways to produce ``x'``:
+
+* :class:`GaussianNoise` — Zheng et al.'s original uncorrelated pixel
+  noise, ``x' = x + eps, eps ~ N(0, sigma^2)``;
+* :class:`DistortionNoise` — the paper's phone-noise simulation: random
+  hue / contrast / brightness / saturation distortion plus a JPEG
+  re-compression at random quality;
+* :class:`TwoImageNoise` — no synthesis at all: ``x'`` is the *actual*
+  photo of the same displayed image from a second phone (the paper pairs
+  Samsung with iPhone captures);
+* :class:`SubsampleNoise` — like two-image, but only ``k`` photos per
+  class from the second phone exist, modelling a realistic calibration
+  budget; ``x'`` is drawn from the class's small pool.
+
+:class:`NoNoise` is the paper's baseline: plain fine-tuning, where the
+stability term sees ``x' = x``.
+
+All generators operate on model-input tensors ``(N, 3, H, W)`` in
+``[-1, 1]`` and draw from a caller-supplied RNG, so training runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "NoiseGenerator",
+    "NoNoise",
+    "GaussianNoise",
+    "DistortionNoise",
+    "TwoImageNoise",
+    "SubsampleNoise",
+]
+
+
+class NoiseGenerator:
+    """Interface: map a clean batch to its perturbed counterpart.
+
+    ``indices`` are the positions of the batch rows in the full training
+    set, which the paired generators use to look up the corresponding
+    second-phone photo.
+    """
+
+    name = "abstract"
+
+    def generate(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        indices: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class NoNoise(NoiseGenerator):
+    """Baseline fine-tuning: the "noisy" image is the image itself."""
+
+    name = "no_noise"
+
+    def generate(self, x, labels, indices, rng):
+        return x
+
+
+class GaussianNoise(NoiseGenerator):
+    """Uncorrelated Gaussian pixel noise with variance ``sigma2``."""
+
+    name = "gaussian"
+
+    def __init__(self, sigma2: float = 0.04) -> None:
+        if sigma2 <= 0:
+            raise ValueError("sigma2 must be positive")
+        self.sigma = float(np.sqrt(sigma2))
+
+    def generate(self, x, labels, indices, rng):
+        noise = rng.normal(0.0, self.sigma, x.shape).astype(np.float32)
+        return np.clip(x + noise, -1.0, 1.0)
+
+
+class DistortionNoise(NoiseGenerator):
+    """Simulated phone-pipeline distortion.
+
+    Applies, per image: hue rotation, saturation / contrast / brightness
+    scaling, and a JPEG re-compression at a random quality — the paper's
+    list of "hue, contrast, brightness, saturation and JPEG compression
+    quality".
+    """
+
+    name = "distortion"
+
+    def __init__(
+        self,
+        max_hue_shift: float = 0.05,
+        saturation_range: tuple = (0.7, 1.3),
+        brightness_range: tuple = (0.8, 1.2),
+        contrast_range: tuple = (0.8, 1.2),
+        jpeg_quality_range: tuple = (50, 95),
+    ) -> None:
+        self.max_hue_shift = max_hue_shift
+        self.saturation_range = saturation_range
+        self.brightness_range = brightness_range
+        self.contrast_range = contrast_range
+        self.jpeg_quality_range = jpeg_quality_range
+
+    def generate(self, x, labels, indices, rng):
+        from ..codecs.jpeg import decode_jpeg, encode_jpeg
+        from ..imaging.color import hsv_to_rgb, rgb_to_hsv
+        from ..imaging.image import ImageBuffer
+
+        out = np.empty_like(x)
+        for i in range(len(x)):
+            rgb = (x[i].transpose(1, 2, 0) + 1.0) / 2.0  # HWC in [0, 1]
+            hsv = rgb_to_hsv(np.clip(rgb, 0.0, 1.0))
+            hsv[..., 0] = (hsv[..., 0] + rng.uniform(-self.max_hue_shift, self.max_hue_shift)) % 1.0
+            hsv[..., 1] = np.clip(hsv[..., 1] * rng.uniform(*self.saturation_range), 0, 1)
+            rgb = hsv_to_rgb(hsv)
+            rgb = rgb * rng.uniform(*self.brightness_range)
+            mean = rgb.mean()
+            rgb = mean + (rgb - mean) * rng.uniform(*self.contrast_range)
+            rgb = np.clip(rgb, 0.0, 1.0)
+
+            quality = int(rng.integers(self.jpeg_quality_range[0], self.jpeg_quality_range[1] + 1))
+            roundtripped = decode_jpeg(
+                encode_jpeg(ImageBuffer(rgb.astype(np.float32)), quality=quality)
+            )
+            out[i] = (roundtripped.pixels.transpose(2, 0, 1) - 0.5) / 0.5
+        return out
+
+
+class TwoImageNoise(NoiseGenerator):
+    """The perturbed image is the aligned photo from a second phone."""
+
+    name = "two_images"
+
+    def __init__(self, paired_x: np.ndarray) -> None:
+        self.paired_x = np.asarray(paired_x, dtype=np.float32)
+
+    def generate(self, x, labels, indices, rng):
+        if indices.max(initial=-1) >= len(self.paired_x):
+            raise IndexError("paired tensor smaller than training set")
+        return self.paired_x[indices]
+
+
+class SubsampleNoise(NoiseGenerator):
+    """Second-phone photos exist only as a small per-class pool.
+
+    ``pool_x`` / ``pool_labels`` hold the calibration photos (``k`` per
+    class, the paper's ``#images`` hyperparameter); each clean image is
+    paired with a random pool photo *of its own class*.
+    """
+
+    name = "subsample"
+
+    def __init__(self, pool_x: np.ndarray, pool_labels: np.ndarray) -> None:
+        pool_x = np.asarray(pool_x, dtype=np.float32)
+        pool_labels = np.asarray(pool_labels)
+        if len(pool_x) != len(pool_labels):
+            raise ValueError("pool tensors must align")
+        if len(pool_x) == 0:
+            raise ValueError("empty calibration pool")
+        self._by_class: Dict[int, np.ndarray] = {}
+        for cls in np.unique(pool_labels):
+            self._by_class[int(cls)] = pool_x[pool_labels == cls]
+
+    @classmethod
+    def from_corpus(
+        cls,
+        paired_x: np.ndarray,
+        labels: np.ndarray,
+        images_per_class: int,
+        rng: np.random.Generator,
+    ) -> "SubsampleNoise":
+        """Subsample ``images_per_class`` calibration photos per class."""
+        if images_per_class <= 0:
+            raise ValueError("images_per_class must be positive")
+        pool_idx = []
+        labels = np.asarray(labels)
+        for cls_value in np.unique(labels):
+            candidates = np.flatnonzero(labels == cls_value)
+            take = min(images_per_class, len(candidates))
+            pool_idx.extend(rng.choice(candidates, size=take, replace=False))
+        pool_idx = np.array(sorted(pool_idx))
+        return cls(paired_x[pool_idx], labels[pool_idx])
+
+    def generate(self, x, labels, indices, rng):
+        out = np.empty_like(x)
+        for i, cls in enumerate(labels):
+            pool = self._by_class.get(int(cls))
+            if pool is None:
+                raise KeyError(f"no calibration photos for class {int(cls)}")
+            out[i] = pool[int(rng.integers(len(pool)))]
+        return out

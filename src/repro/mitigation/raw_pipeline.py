@@ -1,0 +1,37 @@
+"""The raw-image inference mitigation (paper §9.2).
+
+Instead of consuming each phone's JPEG, shoot raw and convert every
+device's DNG with one *consistent* software ISP before inference. This
+removes the per-vendor ISP and codec from the loop; what remains is
+sensor-level variation, which is why the paper finds raw helps (~11.5%
+relative instability reduction) but does not eliminate instability.
+
+The heavy lifting lives in
+:class:`repro.lab.experiments.RawVsJpegExperiment`; this module provides
+the deployable inference-side helper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..codecs.dng import decode_dng
+from ..imaging.image import ImageBuffer
+from ..isp.pipeline import ISPPipeline
+from ..isp.profiles import build_isp
+
+__all__ = ["ConsistentRawConverter"]
+
+
+class ConsistentRawConverter:
+    """Convert raw (DNG) files from any device through one fixed ISP."""
+
+    def __init__(self, isp: str = "imagemagick", output_size: int = 96) -> None:
+        self.pipeline: ISPPipeline = build_isp(isp, output_size, output_size)
+
+    def convert(self, dng_bytes: bytes) -> ImageBuffer:
+        """DNG container bytes -> consistently developed RGB image."""
+        return self.pipeline.process(decode_dng(dng_bytes))
+
+    def convert_many(self, files: Sequence[bytes]) -> List[ImageBuffer]:
+        return [self.convert(data) for data in files]

@@ -1,0 +1,59 @@
+"""Task simplification: accept the top-k predictions (paper §9.3).
+
+For applications that can present several candidates (search,
+recommendations), counting a prediction as correct when the true class
+appears anywhere in the top k raises accuracy *and* lowers instability —
+the paper reports ~30% improvement on both at k=3 — at the cost of a
+less precise user experience. No retraining or recapture is involved;
+existing experiment records are simply re-scored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.instability import accuracy, instability
+from ..core.records import ExperimentResult
+
+__all__ = ["TopKReport", "simplify_task"]
+
+
+@dataclass(frozen=True)
+class TopKReport:
+    """Top-1 vs top-k metrics for one experiment."""
+
+    k: int
+    accuracy_top1: float
+    accuracy_topk: float
+    instability_top1: float
+    instability_topk: float
+
+    @property
+    def accuracy_improvement(self) -> float:
+        """Relative accuracy gain from the simplification."""
+        return (self.accuracy_topk - self.accuracy_top1) / max(
+            self.accuracy_top1, 1e-12
+        )
+
+    @property
+    def instability_reduction(self) -> float:
+        """Relative instability reduction from the simplification."""
+        if self.instability_top1 == 0:
+            return 0.0
+        return (
+            self.instability_top1 - self.instability_topk
+        ) / self.instability_top1
+
+
+def simplify_task(result: ExperimentResult, k: int = 3) -> TopKReport:
+    """Re-score an experiment's records with the top-k acceptance rule."""
+    if k < 2:
+        raise ValueError("k must be >= 2 to be a simplification")
+    return TopKReport(
+        k=k,
+        accuracy_top1=accuracy(result, k=1),
+        accuracy_topk=accuracy(result, k=k),
+        instability_top1=instability(result, k=1),
+        instability_topk=instability(result, k=k),
+    )

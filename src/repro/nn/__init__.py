@@ -1,0 +1,58 @@
+"""NumPy deep-learning substrate: layers, models, losses, optimizers."""
+
+from .functional import log_softmax, softmax
+from .layers import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    ReLU,
+    ReLU6,
+)
+from .losses import cross_entropy, embedding_stability_loss, kl_stability_loss
+from .model import InvertedResidual, Model, micro_mobilenet
+from .optim import SGD, Adam, Optimizer
+from .preprocess import MODEL_INPUT_SIZE, to_model_input
+from .pretrained import (
+    PretrainConfig,
+    load_pretrained,
+    render_training_set,
+    train_base_model,
+)
+from .train import TrainConfig, evaluate_accuracy, fit, iterate_minibatches
+
+__all__ = [
+    "Adam",
+    "BatchNorm2D",
+    "Conv2D",
+    "Dense",
+    "DepthwiseConv2D",
+    "Flatten",
+    "GlobalAvgPool",
+    "InvertedResidual",
+    "Layer",
+    "MODEL_INPUT_SIZE",
+    "Model",
+    "Optimizer",
+    "PretrainConfig",
+    "ReLU",
+    "ReLU6",
+    "SGD",
+    "TrainConfig",
+    "cross_entropy",
+    "embedding_stability_loss",
+    "evaluate_accuracy",
+    "fit",
+    "iterate_minibatches",
+    "kl_stability_loss",
+    "load_pretrained",
+    "log_softmax",
+    "micro_mobilenet",
+    "render_training_set",
+    "softmax",
+    "to_model_input",
+    "train_base_model",
+]

@@ -1,0 +1,97 @@
+"""Loss functions, each returning ``(value, gradient)`` pairs.
+
+Implements the paper's §9.1 objective
+
+    L(x, x', theta) = L0(x, theta) + alpha * Ls(x, x', theta)
+
+where ``L0`` is standard cross entropy on the clean image and ``Ls`` is
+one of the two stability losses:
+
+* relative entropy (KL divergence) between the prediction on the clean
+  image and the prediction on its noisy counterpart, and
+* Euclidean distance between the two images' embeddings.
+
+Each function returns the scalar loss averaged over the batch and the
+gradient(s) with respect to its *logit/embedding* inputs, ready to feed
+``Model.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .functional import log_softmax, softmax
+
+__all__ = [
+    "cross_entropy",
+    "kl_stability_loss",
+    "embedding_stability_loss",
+]
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Softmax cross entropy; labels are integer class ids.
+
+    Returns ``(mean_loss, dlogits)``.
+    """
+    n = logits.shape[0]
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} does not match batch {n}")
+    log_p = log_softmax(logits)
+    loss = -float(log_p[np.arange(n), labels].mean())
+    grad = softmax(logits)
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+def kl_stability_loss(
+    logits_clean: np.ndarray, logits_noisy: np.ndarray
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """KL(P(.|x) || P(.|x')) averaged over the batch.
+
+    Returns ``(loss, dlogits_clean, dlogits_noisy)``. Both inputs receive
+    gradient: the clean branch because P(.|x) is itself a function of
+    theta (this distinguishes stability training from distillation with a
+    frozen teacher).
+    """
+    if logits_clean.shape != logits_noisy.shape:
+        raise ValueError("logit shapes must match")
+    n = logits_clean.shape[0]
+    p = softmax(logits_clean)
+    log_p = log_softmax(logits_clean)
+    log_q = log_softmax(logits_noisy)
+    loss = float((p * (log_p - log_q)).sum(axis=1).mean())
+
+    # d/dz_clean [ sum_j p_j (log p_j - log q_j) ] with p = softmax(z_clean)
+    # reduces to p * (a - sum_j p_j a_j) for a = log p - log q (the
+    # d(p log p) terms cancel through the softmax Jacobian).
+    a = log_p - log_q
+    dclean = p * (a - (p * a).sum(axis=1, keepdims=True))
+
+    # d/dz_noisy [ -sum p log q ] = q * sum_j p_j - p = q - p.
+    q = softmax(logits_noisy)
+    dnoisy = q - p
+
+    return loss, dclean / n, dnoisy / n
+
+
+def embedding_stability_loss(
+    embed_clean: np.ndarray, embed_noisy: np.ndarray
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Mean Euclidean distance between paired embeddings.
+
+    The paper uses ``||f(x) - f(x')||_2`` (not squared); the gradient is
+    the normalized difference vector. Returns
+    ``(loss, dembed_clean, dembed_noisy)``.
+    """
+    if embed_clean.shape != embed_noisy.shape:
+        raise ValueError("embedding shapes must match")
+    n = embed_clean.shape[0]
+    diff = embed_clean - embed_noisy
+    norms = np.sqrt((diff**2).sum(axis=1, keepdims=True))
+    loss = float(norms.mean())
+    safe = np.maximum(norms, 1e-8)
+    dclean = diff / safe / n
+    return loss, dclean, -dclean

@@ -1,0 +1,100 @@
+"""Optimizers operating on a model's trainable layers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer bound to a fixed set of layers."""
+
+    def __init__(self, layers: List[Layer], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.layers = layers
+        self.lr = lr
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def _items(self):
+        for li, layer in enumerate(self.layers):
+            for key in layer.params:
+                grad = layer.grads.get(key)
+                if grad is not None:
+                    yield (li, key), layer, grad
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum and optional weight decay."""
+
+    def __init__(
+        self,
+        layers: List[Layer],
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(layers, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def step(self) -> None:
+        for key, layer, grad in self._items():
+            if self.weight_decay and key[1] == "weight":
+                grad = grad + self.weight_decay * layer.params[key[1]]
+            vel = self._velocity.get(key)
+            if vel is None:
+                vel = np.zeros_like(grad)
+            vel = self.momentum * vel - self.lr * grad
+            self._velocity[key] = vel
+            layer.params[key[1]] += vel.astype(np.float32)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        layers: List[Layer],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(layers, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[Tuple[int, str], np.ndarray] = {}
+        self._v: Dict[Tuple[int, str], np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for key, layer, grad in self._items():
+            if self.weight_decay and key[1] == "weight":
+                grad = grad + self.weight_decay * layer.params[key[1]]
+            m = self._m.get(key, np.zeros_like(grad))
+            v = self._v.get(key, np.zeros_like(grad))
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            self._m[key] = m
+            self._v[key] = v
+            update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            layer.params[key[1]] -= (self.lr * update).astype(np.float32)

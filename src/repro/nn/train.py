@@ -1,0 +1,84 @@
+"""Plain supervised training loop (stability training lives in
+:mod:`repro.mitigation.stability`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .losses import cross_entropy
+from .model import Model
+from .optim import Optimizer
+
+__all__ = ["TrainConfig", "fit", "evaluate_accuracy", "iterate_minibatches"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters for plain classification training."""
+
+    epochs: int = 10
+    batch_size: int = 64
+    shuffle: bool = True
+    seed: int = 0
+    #: Called after each epoch with (epoch, mean_loss, accuracy-or-None).
+    on_epoch_end: Optional[Callable[[int, float, Optional[float]], None]] = None
+
+
+def iterate_minibatches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Yield (x_batch, y_batch); shuffled when an RNG is supplied."""
+    n = len(x)
+    order = rng.permutation(n) if rng is not None else np.arange(n)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        yield x[idx], y[idx]
+
+
+def fit(
+    model: Model,
+    optimizer: Optimizer,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: TrainConfig,
+    x_val: Optional[np.ndarray] = None,
+    y_val: Optional[np.ndarray] = None,
+) -> List[float]:
+    """Train ``model`` with cross entropy; returns the per-epoch loss trace."""
+    if len(x) != len(y):
+        raise ValueError("x and y lengths differ")
+    rng = np.random.default_rng(config.seed)
+    losses: List[float] = []
+    for epoch in range(config.epochs):
+        epoch_losses = []
+        batch_rng = rng if config.shuffle else None
+        for xb, yb in iterate_minibatches(x, y, config.batch_size, batch_rng):
+            model.zero_grad()
+            logits, _ = model.forward(xb, training=True)
+            loss, dlogits = cross_entropy(logits, yb)
+            model.backward(dlogits)
+            optimizer.step()
+            epoch_losses.append(loss)
+        mean_loss = float(np.mean(epoch_losses))
+        losses.append(mean_loss)
+        if config.on_epoch_end is not None:
+            val_acc = (
+                evaluate_accuracy(model, x_val, y_val)
+                if x_val is not None and y_val is not None
+                else None
+            )
+            config.on_epoch_end(epoch, mean_loss, val_acc)
+    return losses
+
+
+def evaluate_accuracy(model: Model, x: np.ndarray, y: np.ndarray) -> float:
+    """Top-1 accuracy in inference mode."""
+    proba = model.predict_proba(x)
+    return float((proba.argmax(axis=1) == y).mean())

@@ -1,0 +1,31 @@
+"""Synthetic scene substrate: procedural objects, staging, monitor display."""
+
+from .dataset import LabeledScene, SceneDataset, build_dataset
+from .objects import (
+    ALL_CLASSES,
+    DISTRACTOR_CLASSES,
+    TARGET_CLASSES,
+    ObjectSpec,
+    render_object,
+    sample_object,
+)
+from .primitives import Canvas
+from .scene import Scene, sample_scene
+from .screen import Screen, ScreenProfile
+
+__all__ = [
+    "ALL_CLASSES",
+    "Canvas",
+    "DISTRACTOR_CLASSES",
+    "LabeledScene",
+    "ObjectSpec",
+    "Scene",
+    "SceneDataset",
+    "Screen",
+    "ScreenProfile",
+    "TARGET_CLASSES",
+    "build_dataset",
+    "render_object",
+    "sample_object",
+    "sample_scene",
+]

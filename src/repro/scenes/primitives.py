@@ -1,0 +1,163 @@
+"""Vectorized 2-D rasterization primitives.
+
+The scene substrate draws objects with these primitives onto float32 RGB
+canvases. Coordinates are normalized to ``[0, 1]`` on both axes (y down),
+so object renderers are resolution-independent; the dataset builder picks
+the raster size (and supersampling factor) at render time.
+
+All fills are alpha-composited: ``fill_*(canvas, ..., color, alpha)``
+blends ``color`` over the canvas inside the shape.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Canvas",
+    "fill_rect",
+    "fill_ellipse",
+    "fill_polygon",
+    "fill_rounded_rect",
+    "fill_annulus_arc",
+    "vertical_gradient",
+]
+
+Color = Tuple[float, float, float]
+
+
+class Canvas:
+    """A float32 RGB drawing surface with normalized coordinates."""
+
+    def __init__(self, height: int, width: int, background: Color = (1.0, 1.0, 1.0)):
+        self.pixels = np.empty((height, width, 3), dtype=np.float32)
+        self.pixels[:] = np.asarray(background, dtype=np.float32)
+        ys = (np.arange(height, dtype=np.float32) + 0.5) / height
+        xs = (np.arange(width, dtype=np.float32) + 0.5) / width
+        #: Pixel-center coordinate grids, shape (H, W).
+        self.yy, self.xx = np.meshgrid(ys, xs, indexing="ij")
+
+    @property
+    def height(self) -> int:
+        return self.pixels.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.pixels.shape[1]
+
+    def blend(self, mask: np.ndarray, color: Color, alpha: float = 1.0) -> None:
+        """Alpha-composite ``color`` over the canvas where ``mask`` is set.
+
+        ``mask`` may be boolean or a float coverage map in [0, 1].
+        """
+        coverage = mask.astype(np.float32) * np.float32(alpha)
+        color_arr = np.asarray(color, dtype=np.float32)
+        self.pixels += coverage[..., None] * (color_arr - self.pixels)
+
+
+def fill_rect(
+    canvas: Canvas,
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+    color: Color,
+    alpha: float = 1.0,
+) -> None:
+    """Fill the axis-aligned rectangle [x0, x1] x [y0, y1]."""
+    mask = (
+        (canvas.xx >= x0) & (canvas.xx <= x1) & (canvas.yy >= y0) & (canvas.yy <= y1)
+    )
+    canvas.blend(mask, color, alpha)
+
+
+def fill_ellipse(
+    canvas: Canvas,
+    cx: float,
+    cy: float,
+    rx: float,
+    ry: float,
+    color: Color,
+    alpha: float = 1.0,
+) -> None:
+    """Fill an axis-aligned ellipse centred at (cx, cy)."""
+    if rx <= 0 or ry <= 0:
+        raise ValueError("ellipse radii must be positive")
+    mask = ((canvas.xx - cx) / rx) ** 2 + ((canvas.yy - cy) / ry) ** 2 <= 1.0
+    canvas.blend(mask, color, alpha)
+
+
+def fill_polygon(
+    canvas: Canvas,
+    points: Sequence[Tuple[float, float]],
+    color: Color,
+    alpha: float = 1.0,
+) -> None:
+    """Fill a simple polygon given as (x, y) vertices, via even-odd rule.
+
+    Vectorized ray-crossing test: for each pixel, count edges crossed by a
+    horizontal ray.
+    """
+    pts = np.asarray(points, dtype=np.float32)
+    if pts.ndim != 2 or pts.shape[1] != 2 or len(pts) < 3:
+        raise ValueError("polygon needs at least 3 (x, y) points")
+    x = canvas.xx[..., None]
+    y = canvas.yy[..., None]
+    x0, y0 = pts[:, 0], pts[:, 1]
+    x1, y1 = np.roll(pts[:, 0], -1), np.roll(pts[:, 1], -1)
+    straddles = (y0 <= y[..., :]) != (y1 <= y[..., :])
+    denom = np.where(y1 - y0 == 0, 1e-12, y1 - y0)
+    x_at_y = x0 + (y - y0) * (x1 - x0) / denom
+    crossings = (straddles & (x_at_y > x)).sum(axis=-1)
+    canvas.blend(crossings % 2 == 1, color, alpha)
+
+
+def fill_rounded_rect(
+    canvas: Canvas,
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+    radius: float,
+    color: Color,
+    alpha: float = 1.0,
+) -> None:
+    """Fill a rectangle with circular corners of the given radius."""
+    radius = min(radius, (x1 - x0) / 2, (y1 - y0) / 2)
+    inner_x = np.clip(canvas.xx, x0 + radius, x1 - radius)
+    inner_y = np.clip(canvas.yy, y0 + radius, y1 - radius)
+    dist2 = (canvas.xx - inner_x) ** 2 + (canvas.yy - inner_y) ** 2
+    canvas.blend(dist2 <= radius * radius, color, alpha)
+
+
+def fill_annulus_arc(
+    canvas: Canvas,
+    cx: float,
+    cy: float,
+    r_outer: float,
+    r_inner: float,
+    color: Color,
+    alpha: float = 1.0,
+    upper_only: bool = True,
+) -> None:
+    """Fill a ring (annulus), optionally only its upper half.
+
+    Used for bag handles and strap arcs.
+    """
+    if not 0 <= r_inner < r_outer:
+        raise ValueError("need 0 <= r_inner < r_outer")
+    d2 = (canvas.xx - cx) ** 2 + (canvas.yy - cy) ** 2
+    mask = (d2 <= r_outer * r_outer) & (d2 >= r_inner * r_inner)
+    if upper_only:
+        mask &= canvas.yy <= cy
+    canvas.blend(mask, color, alpha)
+
+
+def vertical_gradient(canvas: Canvas, top: Color, bottom: Color) -> None:
+    """Fill the whole canvas with a top-to-bottom linear gradient."""
+    t = canvas.yy[..., None]
+    top_arr = np.asarray(top, dtype=np.float32)
+    bot_arr = np.asarray(bottom, dtype=np.float32)
+    canvas.pixels[:] = top_arr + t * (bot_arr - top_arr)

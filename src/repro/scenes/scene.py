@@ -1,0 +1,95 @@
+"""Scene composition: object + background + lighting.
+
+A :class:`Scene` is the virtual analogue of "an image from the paper's
+dataset" (§3.1): one object instance in front of a background, under
+particular lighting. Scenes render deterministically — the controlled-lab
+property the paper's rig works hard to achieve physically — and all
+capture-time stochasticity (sensor noise, ISP, codec) is layered on by
+the device models instead.
+
+Rendering is supersampled: shapes are rasterized at ``supersample`` times
+the target resolution and box-downsampled, which provides the gentle edge
+antialiasing a real monitor photo has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..imaging.image import ImageBuffer
+from .objects import ObjectSpec, render_object
+from .primitives import Canvas, vertical_gradient
+
+__all__ = ["Scene", "sample_scene"]
+
+
+@dataclass(frozen=True)
+class Scene:
+    """A deterministic renderable scene.
+
+    Attributes
+    ----------
+    spec:
+        The object instance to draw.
+    background_top / background_bottom:
+        Gradient endpoints of the backdrop.
+    brightness:
+        Global illumination multiplier (1.0 = nominal studio lighting).
+    warmth:
+        Color temperature skew: positive boosts red / cuts blue (warm
+        light), negative the opposite. Range roughly [-0.15, 0.15].
+    x_offset / y_offset:
+        Object placement jitter in normalized canvas units.
+    """
+
+    spec: ObjectSpec
+    background_top: tuple = (0.92, 0.92, 0.94)
+    background_bottom: tuple = (0.80, 0.80, 0.84)
+    brightness: float = 1.0
+    warmth: float = 0.0
+    x_offset: float = 0.0
+    y_offset: float = 0.0
+
+    def render(self, height: int = 96, width: int = 96, supersample: int = 2) -> ImageBuffer:
+        """Rasterize the scene to an sRGB-encoded :class:`ImageBuffer`."""
+        if supersample < 1:
+            raise ValueError("supersample must be >= 1")
+        canvas = Canvas(height * supersample, width * supersample)
+        vertical_gradient(canvas, self.background_top, self.background_bottom)
+        # Shift the sampling grid to move the object without resampling.
+        canvas.xx -= np.float32(self.x_offset)
+        canvas.yy -= np.float32(self.y_offset)
+        render_object(canvas, self.spec)
+
+        pixels = canvas.pixels
+        if supersample > 1:
+            s = supersample
+            pixels = pixels.reshape(height, s, width, s, 3).mean(axis=(1, 3))
+
+        # Lighting: brightness plus a color-temperature tilt.
+        gains = np.array(
+            [1.0 + self.warmth, 1.0, 1.0 - self.warmth], dtype=np.float32
+        ) * np.float32(self.brightness)
+        lit = np.clip(pixels * gains, 0.0, 1.0)
+        return ImageBuffer(lit)
+
+
+def sample_scene(spec: ObjectSpec, rng: np.random.Generator) -> Scene:
+    """Wrap an object spec in a scene with mildly varied staging.
+
+    The variation here models the *photography session*, not the object:
+    backdrop shade, studio lighting level and temperature, and where on
+    the screen the object sits.
+    """
+    base = float(rng.uniform(0.78, 0.95))
+    return Scene(
+        spec=spec,
+        background_top=(base + 0.03, base + 0.03, base + 0.05),
+        background_bottom=(base - 0.08, base - 0.08, base - 0.05),
+        brightness=float(rng.uniform(0.9, 1.08)),
+        warmth=float(rng.uniform(-0.05, 0.05)),
+        x_offset=float(rng.uniform(-0.05, 0.05)),
+        y_offset=float(rng.uniform(-0.03, 0.03)),
+    )

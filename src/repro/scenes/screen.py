@@ -1,0 +1,87 @@
+"""Monitor display simulation.
+
+In the paper's rig (§3.2, Fig. 2a) phones photograph images *shown on a
+computer screen*. The screen is therefore part of the optical path: it
+re-encodes the image with its own gamma and white point, its backlight is
+not perfectly uniform, and its pixel grid imposes a faint high-frequency
+texture. :class:`ScreenProfile` models those effects and converts an
+sRGB-encoded image into the linear-light radiance field the cameras see.
+
+The backlight field is fixed per screen instance (it is a property of the
+physical panel), so repeat photos of the same displayed image see the
+same nonuniformity — matching the rig, where instability must come from
+the phones rather than the display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..imaging.color import srgb_decode
+from ..imaging.image import ImageBuffer
+from ..imaging.ops import bilinear_resize
+
+__all__ = ["ScreenProfile", "Screen"]
+
+
+@dataclass(frozen=True)
+class ScreenProfile:
+    """Electro-optical characteristics of a display panel."""
+
+    #: Panel gamma; 2.2 is the sRGB-era default, panels vary slightly.
+    gamma: float = 2.2
+    #: White point gains (r, g, b); a cool panel boosts blue.
+    white_point: tuple = (1.0, 1.0, 1.0)
+    #: Peak-to-trough relative amplitude of backlight nonuniformity.
+    backlight_variation: float = 0.04
+    #: Strength of the subpixel-grid darkening texture.
+    pixel_grid_contrast: float = 0.02
+    #: Stray ambient light added uniformly (radiance floor).
+    glare: float = 0.01
+
+
+class Screen:
+    """A concrete panel: a profile plus its fixed backlight field."""
+
+    def __init__(self, profile: ScreenProfile | None = None, seed: int = 0) -> None:
+        self.profile = profile or ScreenProfile()
+        self._seed = seed
+        self._backlight_cache: dict = {}
+
+    def _backlight(self, height: int, width: int) -> np.ndarray:
+        """Smooth low-frequency brightness field, fixed per panel."""
+        key = (height, width)
+        cached = self._backlight_cache.get(key)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng(self._seed)
+        coarse = rng.uniform(-1.0, 1.0, (4, 4)).astype(np.float32)
+        fine = bilinear_resize(coarse, height, width)
+        amp = self.profile.backlight_variation / 2.0
+        fieldmap = 1.0 + amp * fine
+        self._backlight_cache[key] = fieldmap
+        return fieldmap
+
+    def display(self, image: ImageBuffer) -> ImageBuffer:
+        """Emit the linear-light radiance field for a displayed image."""
+        encoded = np.clip(image.pixels, 0.0, 1.0)
+        if abs(self.profile.gamma - 2.4) < 0.05:
+            linear = srgb_decode(encoded)
+        else:
+            linear = np.power(encoded, np.float32(self.profile.gamma))
+
+        linear = linear * np.asarray(self.profile.white_point, dtype=np.float32)
+        linear = linear * self._backlight(image.height, image.width)[..., None]
+
+        if self.profile.pixel_grid_contrast > 0:
+            # Darken alternate rows/columns slightly: the visible grid of
+            # the panel's black matrix, aliased to our working resolution.
+            grid = np.ones((image.height, image.width), dtype=np.float32)
+            grid[1::2, :] -= self.profile.pixel_grid_contrast
+            grid[:, 1::2] -= self.profile.pixel_grid_contrast / 2.0
+            linear = linear * grid[..., None]
+
+        linear = linear + np.float32(self.profile.glare)
+        return ImageBuffer(np.clip(linear, 0.0, 1.0))

@@ -1,0 +1,7 @@
+"""Camera image formation: optics, noise, and the Bayer sensor."""
+
+from .noise import SensorNoiseModel
+from .optics import LensModel
+from .sensor import BayerSensor, SensorConfig
+
+__all__ = ["BayerSensor", "LensModel", "SensorConfig", "SensorNoiseModel"]

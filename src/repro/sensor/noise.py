@@ -1,0 +1,103 @@
+"""Sensor noise models.
+
+Image acquisition always adds noise (Boncelet 2009, cited by the paper in
+§2.2): photon shot noise, read noise, dark current, fixed-pattern
+photo-response non-uniformity (PRNU), and correlated row noise. This is
+the stochastic floor that makes two back-to-back photos from the *same*
+phone differ (paper Fig. 1), and the per-device parameters are one of the
+axes along which phones diverge.
+
+All noise operates on linear-light signal normalized to [0, 1] where 1.0
+is sensor saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SensorNoiseModel"]
+
+
+@dataclass(frozen=True)
+class SensorNoiseModel:
+    """Parameters of a sensor's noise behaviour.
+
+    Attributes
+    ----------
+    full_well_electrons:
+        Effective full-well capacity; shot noise scales as
+        ``sqrt(signal * full_well) / full_well``, so bigger photosites
+        (flagship phones) are cleaner.
+    read_noise:
+        RMS read noise as a fraction of full scale.
+    dark_current:
+        Mean dark signal as a fraction of full scale (adds both offset and
+        its own shot noise).
+    prnu:
+        RMS of the fixed per-pixel gain error (typically under 1%).
+    row_noise:
+        RMS of per-row offset noise (banding).
+    seed:
+        Seeds the *fixed-pattern* component only; the temporal components
+        draw from the per-capture RNG.
+    """
+
+    full_well_electrons: float = 25000.0
+    read_noise: float = 0.002
+    dark_current: float = 0.0005
+    prnu: float = 0.005
+    row_noise: float = 0.0005
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.full_well_electrons <= 0:
+            raise ValueError("full_well_electrons must be positive")
+        for name in ("read_noise", "dark_current", "prnu", "row_noise"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def prnu_map(self, height: int, width: int) -> np.ndarray:
+        """The sensor's fixed per-pixel gain field (deterministic)."""
+        rng = np.random.default_rng(self.seed)
+        return (1.0 + rng.normal(0.0, self.prnu, (height, width))).astype(np.float32)
+
+    def apply(self, signal: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Add all noise components to a linear [0, 1] mosaic signal.
+
+        Fixed-pattern noise (PRNU) is deterministic per sensor; temporal
+        noise (shot, read, dark, row) is drawn from ``rng`` so repeat
+        captures differ.
+        """
+        signal = np.asarray(signal, dtype=np.float32)
+        h, w = signal.shape
+
+        # Fixed-pattern gain.
+        noisy = signal * self.prnu_map(h, w)
+
+        # Photon shot noise: Gaussian approximation to Poisson statistics.
+        electrons = np.clip(noisy, 0.0, 1.0) * self.full_well_electrons
+        shot_sigma = np.sqrt(np.maximum(electrons, 0.0)) / self.full_well_electrons
+        noisy = noisy + rng.normal(0.0, 1.0, (h, w)).astype(np.float32) * shot_sigma
+
+        # Dark current: offset plus its own shot noise.
+        if self.dark_current > 0:
+            dark_electrons = self.dark_current * self.full_well_electrons
+            dark_sigma = np.sqrt(dark_electrons) / self.full_well_electrons
+            noisy = (
+                noisy
+                + self.dark_current
+                + rng.normal(0.0, dark_sigma, (h, w)).astype(np.float32)
+            )
+
+        # Read noise.
+        if self.read_noise > 0:
+            noisy = noisy + rng.normal(0.0, self.read_noise, (h, w)).astype(np.float32)
+
+        # Row banding: one offset per row.
+        if self.row_noise > 0:
+            rows = rng.normal(0.0, self.row_noise, (h, 1)).astype(np.float32)
+            noisy = noisy + rows
+
+        return noisy.astype(np.float32)

@@ -1,0 +1,118 @@
+"""Tests for bit-level I/O."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_simple_byte(self):
+        w = BitWriter()
+        w.write_bits(0xAB, 8)
+        assert w.getvalue() == b"\xab"
+
+    def test_bit_by_bit(self):
+        w = BitWriter()
+        for bit in [1, 0, 1, 0, 1, 0, 1, 0]:
+            w.write_bits(bit, 1)
+        assert w.getvalue() == b"\xaa"
+
+    def test_flush_pads_with_ones(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.flush(fill_bit=1)
+        assert w.getvalue() == bytes([0b10111111])
+
+    def test_flush_pads_with_zeros(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.flush(fill_bit=0)
+        assert w.getvalue() == bytes([0b10100000])
+
+    def test_value_out_of_range(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(4, 2)
+
+    def test_negative_nbits(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(0, -1)
+
+    def test_getvalue_requires_flush(self):
+        w = BitWriter()
+        w.write_bits(1, 1)
+        with pytest.raises(RuntimeError):
+            w.getvalue()
+
+    def test_ff_stuffing(self):
+        w = BitWriter(stuff_ff=True)
+        w.write_bits(0xFF, 8)
+        w.write_bits(0x01, 8)
+        assert w.getvalue() == b"\xff\x00\x01"
+
+    def test_no_stuffing_by_default(self):
+        w = BitWriter()
+        w.write_bits(0xFF, 8)
+        assert w.getvalue() == b"\xff"
+
+    def test_zero_bits_is_noop(self):
+        w = BitWriter()
+        w.write_bits(0, 0)
+        assert w.getvalue() == b""
+
+
+class TestBitReader:
+    def test_read_bits(self):
+        r = BitReader(b"\xab\xcd")
+        assert r.read_bits(8) == 0xAB
+        assert r.read_bits(4) == 0xC
+        assert r.read_bits(4) == 0xD
+
+    def test_read_past_end(self):
+        r = BitReader(b"\x00")
+        r.read_bits(8)
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_unstuffing(self):
+        r = BitReader(b"\xff\x00\x12", unstuff_ff=True)
+        assert r.read_bits(8) == 0xFF
+        assert r.read_bits(8) == 0x12
+
+    def test_marker_raises(self):
+        r = BitReader(b"\xff\xd9", unstuff_ff=True)
+        with pytest.raises(EOFError):
+            r.read_bits(8)
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\xff\x00")
+        assert r.bits_remaining == 16
+        r.read_bits(3)
+        assert r.bits_remaining == 13
+
+
+@given(st.lists(st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 16)), max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_writer_reader_roundtrip(items):
+    w = BitWriter()
+    for value, nbits in items:
+        w.write_bits(value & ((1 << nbits) - 1), nbits)
+    w.flush()
+    r = BitReader(w.getvalue())
+    for value, nbits in items:
+        assert r.read_bits(nbits) == value & ((1 << nbits) - 1)
+
+
+@given(st.binary(min_size=0, max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_stuffed_roundtrip(raw):
+    w = BitWriter(stuff_ff=True)
+    for byte in raw:
+        w.write_bits(byte, 8)
+    w.flush()
+    r = BitReader(w.getvalue(), unstuff_ff=True)
+    out = bytes(r.read_bits(8) for _ in range(len(raw)))
+    assert out == raw

@@ -1,0 +1,118 @@
+"""Tests for block DCT utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.codecs.dct import (
+    block_dct,
+    block_idct,
+    block_idct_fixed_point,
+    blockify,
+    dct_matrix,
+    unblockify,
+    zigzag_order,
+)
+
+
+class TestDctMatrix:
+    @pytest.mark.parametrize("size", [2, 4, 8, 16])
+    def test_orthonormal(self, size):
+        d = dct_matrix(size)
+        assert np.allclose(d @ d.T, np.eye(size), atol=1e-12)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            dct_matrix(1)
+
+    def test_dc_row_is_constant(self):
+        d = dct_matrix(8)
+        assert np.allclose(d[0], d[0, 0])
+        assert d[0, 0] == pytest.approx(1 / np.sqrt(8))
+
+
+class TestBlockify:
+    def test_roundtrip(self):
+        plane = np.arange(64, dtype=np.float64).reshape(8, 8)
+        blocks = blockify(plane, 4)
+        assert blocks.shape == (4, 4, 4)
+        assert np.array_equal(unblockify(blocks, 8, 8), plane)
+
+    def test_block_order_row_major(self):
+        plane = np.zeros((4, 8))
+        plane[0, 4] = 1.0  # second block of first row
+        blocks = blockify(plane, 4)
+        assert blocks[1, 0, 0] == 1.0
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            blockify(np.zeros((6, 8)), 4)
+
+    def test_unblockify_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            unblockify(np.zeros((3, 4, 4)), 8, 8)
+
+    def test_unblockify_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            unblockify(np.zeros((2, 4, 8)), 8, 8)
+
+
+class TestBlockDct:
+    @given(
+        arrays(
+            np.float64,
+            (3, 8, 8),
+            elements=st.floats(-128, 127, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_idct_inverts_dct(self, blocks):
+        recovered = block_idct(block_dct(blocks))
+        assert np.allclose(recovered, blocks, atol=1e-9)
+
+    def test_constant_block_is_pure_dc(self):
+        blocks = np.full((1, 8, 8), 100.0)
+        coeffs = block_dct(blocks)
+        assert coeffs[0, 0, 0] == pytest.approx(800.0)
+        coeffs[0, 0, 0] = 0
+        assert np.allclose(coeffs, 0.0, atol=1e-10)
+
+    def test_parseval_energy_preserved(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.normal(0, 50, (5, 8, 8))
+        coeffs = block_dct(blocks)
+        assert np.allclose(
+            (blocks**2).sum(axis=(1, 2)), (coeffs**2).sum(axis=(1, 2)), rtol=1e-10
+        )
+
+    def test_fixed_point_close_but_not_equal(self):
+        rng = np.random.default_rng(1)
+        coeffs = rng.normal(0, 100, (4, 8, 8))
+        ref = block_idct(coeffs)
+        fixed = block_idct_fixed_point(coeffs, fraction_bits=11)
+        assert np.allclose(ref, fixed, atol=0.5)
+        assert not np.array_equal(ref, fixed)
+
+    def test_lower_precision_diverges_more(self):
+        rng = np.random.default_rng(2)
+        coeffs = rng.normal(0, 100, (4, 8, 8))
+        ref = block_idct(coeffs)
+        err11 = np.abs(block_idct_fixed_point(coeffs, 11) - ref).max()
+        err8 = np.abs(block_idct_fixed_point(coeffs, 8) - ref).max()
+        assert err8 > err11
+
+
+class TestZigzag:
+    def test_is_permutation(self):
+        zz = zigzag_order(8)
+        assert sorted(zz.tolist()) == list(range(64))
+
+    def test_standard_prefix(self):
+        # The canonical JPEG zig-zag starts 0, 1, 8, 16, 9, 2, 3, 10 ...
+        zz = zigzag_order(8)
+        assert zz[:8].tolist() == [0, 1, 8, 16, 9, 2, 3, 10]
+
+    def test_dc_first(self):
+        assert zigzag_order(16)[0] == 0

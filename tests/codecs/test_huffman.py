@@ -1,0 +1,129 @@
+"""Tests for canonical Huffman coding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.bitio import BitReader, BitWriter
+from repro.codecs.huffman import (
+    STD_AC_CHROMA,
+    STD_AC_LUMA,
+    STD_DC_CHROMA,
+    STD_DC_LUMA,
+    HuffmanTable,
+)
+
+
+class TestTableConstruction:
+    def test_rejects_wrong_bits_length(self):
+        with pytest.raises(ValueError):
+            HuffmanTable([0] * 15, [])
+
+    def test_rejects_mismatched_values(self):
+        bits = [0] * 16
+        bits[0] = 1
+        with pytest.raises(ValueError):
+            HuffmanTable(bits, [1, 2])
+
+    def test_rejects_duplicate_symbols(self):
+        bits = [0] * 16
+        bits[1] = 2
+        with pytest.raises(ValueError):
+            HuffmanTable(bits, [5, 5])
+
+    def test_rejects_oversubscribed(self):
+        bits = [3] + [0] * 15  # three 1-bit codes is impossible
+        with pytest.raises(ValueError):
+            HuffmanTable(bits, [1, 2, 3])
+
+    def test_contains(self):
+        assert 0 in STD_DC_LUMA
+        assert 11 in STD_DC_LUMA
+        assert 12 not in STD_DC_LUMA
+
+
+class TestStandardTables:
+    @pytest.mark.parametrize(
+        "table,n_symbols",
+        [
+            (STD_DC_LUMA, 12),
+            (STD_DC_CHROMA, 12),
+            (STD_AC_LUMA, 162),
+            (STD_AC_CHROMA, 162),
+        ],
+    )
+    def test_symbol_counts(self, table, n_symbols):
+        assert len(table.values) == n_symbols
+
+    def test_known_dc_luma_codes(self):
+        # T.81 Table K.3: category 0 -> code '00' (2 bits).
+        assert STD_DC_LUMA.code_length(0) == 2
+        # Category 11 gets the longest (9-bit) code.
+        assert STD_DC_LUMA.code_length(11) == 9
+
+    def test_known_ac_luma_codes(self):
+        # EOB (0x00) is 4 bits; ZRL (0xF0) is 11 bits in the standard table.
+        assert STD_AC_LUMA.code_length(0x00) == 4
+        assert STD_AC_LUMA.code_length(0xF0) == 11
+
+    @pytest.mark.parametrize(
+        "table", [STD_DC_LUMA, STD_DC_CHROMA, STD_AC_LUMA, STD_AC_CHROMA]
+    )
+    def test_roundtrip_every_symbol(self, table):
+        w = BitWriter()
+        for symbol in table.values:
+            table.encode_symbol(w, symbol)
+        w.flush()
+        r = BitReader(w.getvalue())
+        for symbol in table.values:
+            assert table.decode_symbol(r) == symbol
+
+    def test_unknown_symbol_raises(self):
+        w = BitWriter()
+        with pytest.raises(KeyError):
+            STD_DC_LUMA.encode_symbol(w, 99)
+
+
+class TestFromFrequencies:
+    def test_single_symbol(self):
+        table = HuffmanTable.from_frequencies({7: 100})
+        assert table.code_length(7) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HuffmanTable.from_frequencies({})
+
+    def test_rejects_nonpositive_freq(self):
+        with pytest.raises(ValueError):
+            HuffmanTable.from_frequencies({1: 0})
+
+    def test_common_symbols_get_short_codes(self):
+        table = HuffmanTable.from_frequencies({0: 1000, 1: 10, 2: 10, 3: 1})
+        assert table.code_length(0) < table.code_length(3)
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 255), st.integers(1, 10_000), min_size=1, max_size=64
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_random_alphabets(self, freqs):
+        table = HuffmanTable.from_frequencies(freqs)
+        symbols = sorted(freqs)
+        w = BitWriter()
+        for s in symbols:
+            table.encode_symbol(w, s)
+        w.flush()
+        r = BitReader(w.getvalue())
+        assert [table.decode_symbol(r) for _ in symbols] == symbols
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 255), st.integers(1, 10_000), min_size=2, max_size=200
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_kraft_inequality(self, freqs):
+        table = HuffmanTable.from_frequencies(freqs)
+        kraft = sum(2.0 ** -table.code_length(s) for s in freqs)
+        assert kraft <= 1.0 + 1e-9

@@ -1,0 +1,180 @@
+"""Tests for the baseline JPEG codec."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.jpeg import (
+    BASE_LUMA_QUANT,
+    JpegDecodeOptions,
+    decode_jpeg,
+    encode_jpeg,
+    quality_scaled_tables,
+)
+from repro.imaging import ImageBuffer
+from repro.imaging.metrics import psnr
+
+
+def _smooth_image(seed=0, size=48):
+    from scipy import ndimage
+
+    rng = np.random.default_rng(seed)
+    img = ndimage.gaussian_filter(rng.random((size, size, 3)), (3, 3, 0))
+    img = (img - img.min()) / (img.max() - img.min() + 1e-9)
+    return ImageBuffer(img.astype(np.float32))
+
+
+class TestQuantTables:
+    def test_quality_50_is_base(self):
+        luma, _ = quality_scaled_tables(50)
+        assert np.array_equal(luma, BASE_LUMA_QUANT)
+
+    def test_quality_100_all_ones(self):
+        luma, chroma = quality_scaled_tables(100)
+        assert np.all(luma == 1)
+        assert np.all(chroma == 1)
+
+    def test_lower_quality_coarser(self):
+        q85, _ = quality_scaled_tables(85)
+        q50, _ = quality_scaled_tables(50)
+        q10, _ = quality_scaled_tables(10)
+        assert np.all(q85 <= q50)
+        assert np.all(q50 <= q10)
+        assert q10.sum() > q50.sum()
+
+    @pytest.mark.parametrize("quality", [0, 101, -5])
+    def test_rejects_out_of_range(self, quality):
+        with pytest.raises(ValueError):
+            quality_scaled_tables(quality)
+
+    def test_tables_clipped_to_255(self):
+        luma, chroma = quality_scaled_tables(1)
+        assert luma.max() <= 255 and chroma.max() <= 255
+        assert luma.min() >= 1
+
+
+class TestMarkerStream:
+    def test_starts_soi_ends_eoi(self):
+        data = encode_jpeg(_smooth_image(), quality=85)
+        assert data[:2] == b"\xff\xd8"
+        assert data[-2:] == b"\xff\xd9"
+
+    def test_contains_jfif_app0(self):
+        data = encode_jpeg(_smooth_image())
+        assert b"JFIF\x00" in data[:32]
+
+    def test_decode_rejects_non_jpeg(self):
+        with pytest.raises(ValueError):
+            decode_jpeg(b"\x00\x01\x02\x03")
+
+    def test_decode_rejects_progressive(self):
+        data = bytearray(encode_jpeg(_smooth_image()))
+        idx = data.find(b"\xff\xc0")
+        data[idx + 1] = 0xC2  # rewrite SOF0 -> SOF2
+        with pytest.raises(ValueError):
+            decode_jpeg(bytes(data))
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("subsampling", ["4:2:0", "4:4:4"])
+    def test_high_quality_high_fidelity(self, subsampling):
+        buf = _smooth_image()
+        out = decode_jpeg(encode_jpeg(buf, quality=95, subsampling=subsampling))
+        assert out.shape == buf.shape
+        assert psnr(buf.pixels, out.pixels) > 33.0
+
+    def test_constant_image_near_exact(self):
+        buf = ImageBuffer.full(32, 32, 0.5)
+        out = decode_jpeg(encode_jpeg(buf, quality=90))
+        assert np.abs(out.pixels - 0.5).max() < 0.02
+
+    def test_extreme_values_survive(self):
+        # All-black and all-white exercise the DC range extremes.
+        for value in (0.0, 1.0):
+            buf = ImageBuffer.full(16, 16, value)
+            out = decode_jpeg(encode_jpeg(buf, quality=90))
+            assert np.abs(out.pixels - value).max() < 0.03
+
+    def test_non_multiple_of_16_dimensions(self):
+        rng = np.random.default_rng(5)
+        buf = ImageBuffer(rng.random((23, 37, 3)).astype(np.float32))
+        out = decode_jpeg(encode_jpeg(buf, quality=90))
+        assert out.shape == (23, 37, 3)
+
+    def test_quality_monotonic_in_fidelity(self):
+        buf = _smooth_image(seed=3)
+        errors = []
+        for q in (30, 60, 90):
+            out = decode_jpeg(encode_jpeg(buf, quality=q))
+            errors.append(np.mean((out.pixels - buf.pixels) ** 2))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_quality_monotonic_in_size(self):
+        buf = _smooth_image(seed=4)
+        sizes = [len(encode_jpeg(buf, quality=q)) for q in (30, 60, 90)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_444_beats_420_on_chroma_detail(self):
+        # Sharp color edges suffer under 4:2:0.
+        img = np.zeros((32, 32, 3), dtype=np.float32)
+        img[:, ::2, 0] = 1.0
+        img[:, 1::2, 2] = 1.0
+        buf = ImageBuffer(img)
+        e420 = decode_jpeg(encode_jpeg(buf, quality=90, subsampling="4:2:0"))
+        e444 = decode_jpeg(encode_jpeg(buf, quality=90, subsampling="4:4:4"))
+        err420 = np.mean((e420.pixels - img) ** 2)
+        err444 = np.mean((e444.pixels - img) ** 2)
+        assert err444 < err420
+
+    def test_rejects_unknown_subsampling(self):
+        with pytest.raises(ValueError):
+            encode_jpeg(_smooth_image(), subsampling="4:1:1")
+
+    def test_deterministic(self):
+        buf = _smooth_image(seed=7)
+        assert encode_jpeg(buf, quality=77) == encode_jpeg(buf, quality=77)
+
+
+class TestDecodeOptions:
+    def test_decoder_variants_differ_on_pixels(self):
+        """The §7 mechanism: same bytes, different decoder, different pixels."""
+        buf = _smooth_image(seed=9)
+        data = encode_jpeg(buf, quality=85)
+        ref = decode_jpeg(data, JpegDecodeOptions(idct="float"))
+        fixed = decode_jpeg(data, JpegDecodeOptions(idct="fixed8"))
+        assert ref.shape == fixed.shape
+        assert not np.array_equal(ref.to_uint8(), fixed.to_uint8())
+        # ...but only barely: max difference of a couple of code values.
+        assert np.abs(ref.pixels - fixed.pixels).max() < 5 / 255
+
+    def test_same_options_same_pixels(self):
+        data = encode_jpeg(_smooth_image(seed=9), quality=85)
+        a = decode_jpeg(data, JpegDecodeOptions(idct="fixed11"))
+        b = decode_jpeg(data, JpegDecodeOptions(idct="fixed11"))
+        assert np.array_equal(a.pixels, b.pixels)
+
+    def test_rounding_variants(self):
+        data = encode_jpeg(_smooth_image(seed=10), quality=85)
+        rounded = decode_jpeg(data, JpegDecodeOptions(rounding="round"))
+        truncated = decode_jpeg(data, JpegDecodeOptions(rounding="truncate"))
+        diff = rounded.to_uint8().astype(int) - truncated.to_uint8().astype(int)
+        assert diff.min() >= 0 and diff.max() <= 1
+        assert diff.any()
+
+    def test_upsample_variants_differ(self):
+        data = encode_jpeg(_smooth_image(seed=11), quality=85)
+        fancy = decode_jpeg(data, JpegDecodeOptions(chroma_upsample="bilinear"))
+        nearest = decode_jpeg(data, JpegDecodeOptions(chroma_upsample="nearest"))
+        assert not np.array_equal(fancy.pixels, nearest.pixels)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"idct": "quantum"},
+            {"rounding": "ceil"},
+            {"chroma_upsample": "lanczos"},
+        ],
+    )
+    def test_rejects_unknown_options(self, kwargs):
+        data = encode_jpeg(_smooth_image())
+        with pytest.raises(ValueError):
+            decode_jpeg(data, JpegDecodeOptions(**kwargs))

@@ -1,0 +1,120 @@
+"""Tests for the instability metric — the paper's §2.2 definitions."""
+
+import pytest
+
+from repro.core.instability import (
+    accuracy,
+    image_stability_breakdown,
+    instability,
+    per_class_accuracy,
+    per_class_instability,
+    per_environment_accuracy,
+    unstable_image_ids,
+)
+from repro.core.records import ExperimentResult
+from tests.conftest import make_record
+
+
+class TestAccuracy:
+    def test_simple(self, two_env_result):
+        # Correct records: a/0, b/0, a/2, a/3 -> 4 of 7.
+        assert accuracy(two_env_result) == pytest.approx(4 / 7)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(ExperimentResult([]))
+
+    def test_topk_accuracy_increases(self):
+        records = [
+            make_record(true_label=5, predicted_label=3, ranking=(3, 5, 0, 1, 2, 4, 6, 7))
+        ]
+        result = ExperimentResult(records)
+        assert accuracy(result, k=1) == 0.0
+        assert accuracy(result, k=3) == 1.0
+
+
+class TestInstability:
+    def test_fixture_value(self, two_env_result):
+        # Images 0 (stable-correct), 1 (stable-incorrect), 2 (unstable);
+        # image 3 seen once -> excluded. 1 unstable / 3 eligible.
+        assert instability(two_env_result) == pytest.approx(1 / 3)
+
+    def test_all_wrong_is_not_unstable(self):
+        """Paper: if every environment is wrong, the image is not unstable."""
+        records = [
+            make_record("a", 0, true_label=1, predicted_label=2),
+            make_record("b", 0, true_label=1, predicted_label=3),
+        ]
+        assert instability(ExperimentResult(records)) == 0.0
+
+    def test_all_correct_is_stable(self):
+        records = [
+            make_record("a", 0, true_label=1, predicted_label=1),
+            make_record("b", 0, true_label=1, predicted_label=1),
+        ]
+        assert instability(ExperimentResult(records)) == 0.0
+
+    def test_single_environment_undefined(self):
+        records = [make_record("a", 0), make_record("a", 1)]
+        with pytest.raises(ValueError):
+            instability(ExperimentResult(records))
+
+    def test_disagreeing_but_both_correct_at_topk(self):
+        # Different top-1 labels, but true label in both top-3 -> stable at k=3.
+        records = [
+            make_record("a", 0, true_label=1, predicted_label=1,
+                        ranking=(1, 2, 3, 0, 4, 5, 6, 7)),
+            make_record("b", 0, true_label=1, predicted_label=2,
+                        ranking=(2, 1, 3, 0, 4, 5, 6, 7)),
+        ]
+        result = ExperimentResult(records)
+        assert instability(result, k=1) == 1.0
+        assert instability(result, k=3) == 0.0
+
+    def test_three_environments(self):
+        records = [
+            make_record("a", 0, true_label=1, predicted_label=1),
+            make_record("b", 0, true_label=1, predicted_label=1),
+            make_record("c", 0, true_label=1, predicted_label=9),
+        ]
+        assert instability(ExperimentResult(records)) == 1.0
+
+    def test_repeat_records_same_environment_do_not_count_as_cross_env(self):
+        # Two records from ONE environment disagreeing is not eligible.
+        records = [
+            make_record("a", 0, true_label=1, predicted_label=1),
+            make_record("a", 0, true_label=1, predicted_label=2),
+        ]
+        with pytest.raises(ValueError):
+            instability(ExperimentResult(records))
+
+
+class TestBreakdowns:
+    def test_unstable_image_ids(self, two_env_result):
+        assert unstable_image_ids(two_env_result) == [2]
+
+    def test_image_stability_breakdown(self, two_env_result):
+        b = image_stability_breakdown(two_env_result)
+        assert b["stable_correct"] == [0]
+        assert b["stable_incorrect"] == [1]
+        assert b["unstable"] == [2]
+
+    def test_per_class(self):
+        records = [
+            make_record("a", 0, 1, 1, class_name="purse"),
+            make_record("b", 0, 1, 2, class_name="purse"),
+            make_record("a", 1, 1, 1, class_name="backpack"),
+            make_record("b", 1, 1, 1, class_name="backpack"),
+        ]
+        result = ExperimentResult(records)
+        inst = per_class_instability(result)
+        assert inst["purse"] == 1.0
+        assert inst["backpack"] == 0.0
+        acc = per_class_accuracy(result)
+        assert acc["purse"] == 0.5
+        assert acc["backpack"] == 1.0
+
+    def test_per_environment_accuracy(self, two_env_result):
+        acc = per_environment_accuracy(two_env_result)
+        assert acc["a"] == pytest.approx(3 / 4)
+        assert acc["b"] == pytest.approx(1 / 3)

@@ -1,0 +1,83 @@
+"""Tests for precision-recall curves."""
+
+import numpy as np
+import pytest
+
+from repro.core.pr_curves import (
+    PRCurve,
+    average_precision,
+    micro_average_pr,
+    precision_recall,
+)
+from repro.core.records import ExperimentResult
+from tests.conftest import make_record
+
+
+class TestMicroAverage:
+    def test_perfect_classifier(self):
+        proba = np.array([[0.9, 0.1], [0.1, 0.9]])
+        labels = np.array([0, 1])
+        curve = micro_average_pr(proba, labels)
+        # Every positive ranks above every negative: precision is 1 at the
+        # point full recall is first reached, and AP is 1.
+        first_full = int(np.argmax(curve.recall >= 1.0))
+        assert curve.precision[first_full] == pytest.approx(1.0)
+        assert average_precision(curve) == pytest.approx(1.0)
+
+    def test_random_classifier_ap_near_chance(self):
+        rng = np.random.default_rng(0)
+        proba = rng.dirichlet(np.ones(4), size=400)
+        labels = rng.integers(0, 4, 400)
+        curve = micro_average_pr(proba, labels)
+        ap = average_precision(curve)
+        assert 0.15 < ap < 0.40  # chance is 0.25 for 4 classes
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            micro_average_pr(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_recall_monotone(self):
+        rng = np.random.default_rng(1)
+        proba = rng.dirichlet(np.ones(3), size=50)
+        labels = rng.integers(0, 3, 50)
+        curve = micro_average_pr(proba, labels)
+        assert np.all(np.diff(curve.recall) >= 0)
+        assert curve.recall[-1] == pytest.approx(1.0)
+
+
+class TestPerClass:
+    def test_uses_probabilities_metadata(self):
+        records = [
+            make_record("a", 0, true_label=0, predicted_label=0,
+                        probabilities=(0.8, 0.2)),
+            make_record("a", 1, true_label=1, predicted_label=0,
+                        probabilities=(0.6, 0.4)),
+        ]
+        curve = precision_recall(ExperimentResult(records), class_index=0)
+        # Scores 0.8 (positive) and 0.6 (negative): AP = 1.
+        assert average_precision(curve) == pytest.approx(1.0)
+
+    def test_fallback_without_probabilities(self):
+        records = [
+            make_record("a", 0, true_label=0, predicted_label=0, confidence=0.9),
+            make_record("a", 1, true_label=0, predicted_label=1, confidence=0.8),
+        ]
+        curve = precision_recall(ExperimentResult(records), class_index=0)
+        assert len(curve.precision) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            precision_recall(ExperimentResult([]), 0)
+
+    def test_no_positives_raises(self):
+        records = [make_record("a", 0, true_label=1, predicted_label=1)]
+        with pytest.raises(ValueError):
+            precision_recall(ExperimentResult(records), class_index=0)
+
+
+class TestPRCurve:
+    def test_validates_lengths(self):
+        with pytest.raises(ValueError):
+            PRCurve(
+                precision=np.zeros(3), recall=np.zeros(2), thresholds=np.zeros(3)
+            )

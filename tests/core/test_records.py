@@ -1,0 +1,87 @@
+"""Tests for prediction records and result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import ExperimentResult, PredictionRecord
+from tests.conftest import make_record
+
+
+class TestPredictionRecord:
+    def test_top1_correct(self):
+        r = make_record(true_label=2, predicted_label=2)
+        assert r.is_correct()
+        assert r.is_correct(k=1)
+
+    def test_top1_incorrect(self):
+        r = make_record(true_label=2, predicted_label=3)
+        assert not r.is_correct()
+
+    def test_topk_correct_beyond_top1(self):
+        r = make_record(true_label=5, predicted_label=3, ranking=(3, 5, 0, 1, 2, 4, 6, 7))
+        assert not r.is_correct(k=1)
+        assert r.is_correct(k=2)
+        assert r.is_correct(k=8)
+
+    def test_topk_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            make_record().is_correct(k=0)
+
+    def test_topk_requires_ranking(self):
+        r = PredictionRecord(
+            environment="a",
+            image_id=0,
+            true_label=0,
+            predicted_label=0,
+            confidence=0.5,
+            class_name="x",
+            ranking=(),
+        )
+        with pytest.raises(ValueError):
+            r.is_correct(k=3)
+
+
+class TestExperimentResult:
+    def test_environments_preserve_insertion_order(self):
+        result = ExperimentResult(
+            [make_record("z"), make_record("a"), make_record("z")]
+        )
+        assert result.environments() == ["z", "a"]
+
+    def test_for_environment_filters(self, two_env_result):
+        sub = two_env_result.for_environment("a")
+        assert len(sub) == 4
+        assert all(r.environment == "a" for r in sub)
+
+    def test_for_class_filters(self):
+        result = ExperimentResult(
+            [make_record(class_name="purse"), make_record(class_name="backpack")]
+        )
+        assert len(result.for_class("purse")) == 1
+
+    def test_by_image_groups(self, two_env_result):
+        groups = two_env_result.by_image()
+        assert set(groups) == {0, 1, 2, 3}
+        assert len(groups[0]) == 2
+        assert len(groups[3]) == 1
+
+    def test_confidences(self, two_env_result):
+        confs = two_env_result.confidences()
+        assert confs.shape == (7,)
+        assert confs.max() == 0.95
+
+    def test_filter(self, two_env_result):
+        high = two_env_result.filter(lambda r: r.confidence > 0.7)
+        assert len(high) == 3
+
+    def test_merged_with(self):
+        a = ExperimentResult([make_record("a")], name="first")
+        b = ExperimentResult([make_record("b")])
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert merged.name == "first"
+
+    def test_extend(self):
+        result = ExperimentResult([])
+        result.extend([make_record(), make_record()])
+        assert len(result) == 2

@@ -1,0 +1,43 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.core.report import format_percent, format_series, format_table
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.0766) == "7.66%"
+
+    def test_digits(self):
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_zero(self):
+        assert format_percent(0.0) == "0.00%"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "val"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # All rows equal width.
+        assert len(set(len(l) for l in lines)) == 1
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+def test_format_series_percent():
+    out = format_series({"purse": 0.25})
+    assert "purse: 25.00%" in out
+
+
+def test_format_series_raw():
+    out = format_series({"x": 0.5}, percent=False)
+    assert "x: 0.5000" in out

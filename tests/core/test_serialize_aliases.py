@@ -1,0 +1,134 @@
+"""Tests for result serialization and label aliasing."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import ExperimentResult, PredictionRecord
+from repro.core.serialize import (
+    load_result,
+    result_from_json,
+    result_to_json,
+    save_result,
+)
+from repro.core.instability import accuracy, instability
+from tests.conftest import make_record
+
+
+class TestLabelAliases:
+    def test_alias_counts_as_correct(self):
+        """Paper §3.2: 'wine bottle' and 'red wine' overlap in ImageNet."""
+        r = PredictionRecord(
+            environment="a",
+            image_id=0,
+            true_label=2,
+            predicted_label=5,
+            confidence=0.8,
+            class_name="wine_bottle",
+            ranking=(5, 2, 0, 1, 3, 4, 6, 7),
+            acceptable_labels=(5,),
+        )
+        assert r.is_correct()
+
+    def test_alias_affects_instability(self):
+        records = [
+            PredictionRecord("a", 0, 2, 2, 0.9, "wine", ranking=(2, 5, 0, 1, 3, 4, 6, 7)),
+            PredictionRecord("b", 0, 2, 5, 0.9, "wine", ranking=(5, 2, 0, 1, 3, 4, 6, 7)),
+        ]
+        # Without aliasing the image is unstable...
+        assert instability(ExperimentResult(records)) == 1.0
+        # ...with 5 accepted as "red wine", it is stable-correct.
+        aliased = [
+            PredictionRecord(
+                r.environment, r.image_id, r.true_label, r.predicted_label,
+                r.confidence, r.class_name, ranking=r.ranking,
+                acceptable_labels=(5,),
+            )
+            for r in records
+        ]
+        assert instability(ExperimentResult(aliased)) == 0.0
+
+    def test_alias_in_topk(self):
+        r = PredictionRecord(
+            "a", 0, 2, 0, 0.6, "wine",
+            ranking=(0, 5, 1, 2, 3, 4, 6, 7), acceptable_labels=(5,),
+        )
+        assert not r.is_correct(k=1)
+        assert r.is_correct(k=2)  # the alias appears at rank 2
+
+
+class TestSerialization:
+    def _result(self):
+        records = [
+            make_record("phone_a", 0, 1, 1, 0.9, angle=15.0,
+                        probabilities=(0.1,) * 8),
+            make_record("phone_b", 0, 1, 2, 0.55),
+        ]
+        return ExperimentResult(records, name="demo")
+
+    def test_roundtrip_preserves_records(self):
+        result = self._result()
+        back = result_from_json(result_to_json(result))
+        assert back.name == "demo"
+        assert len(back) == len(result)
+        for a, b in zip(result, back):
+            assert a.environment == b.environment
+            assert a.image_id == b.image_id
+            assert a.predicted_label == b.predicted_label
+            assert a.ranking == b.ranking
+            assert a.angle == b.angle
+
+    def test_roundtrip_preserves_metrics(self):
+        result = self._result()
+        back = result_from_json(result_to_json(result))
+        assert accuracy(back) == accuracy(result)
+        assert instability(back) == instability(result)
+
+    def test_numpy_scalars_in_metadata(self):
+        record = make_record("a", 0, numpy_value=np.float32(0.5))
+        text = result_to_json(ExperimentResult([record]))
+        back = result_from_json(text)
+        assert back.records[0].metadata["numpy_value"] == pytest.approx(0.5)
+
+    def test_file_roundtrip(self, tmp_path):
+        result = self._result()
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        assert instability(load_result(path)) == instability(result)
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="version"):
+            result_from_json('{"format_version": 99, "records": []}')
+
+    def test_aliases_survive_roundtrip(self):
+        record = PredictionRecord(
+            "a", 0, 1, 5, 0.5, "wine", ranking=(5, 1, 0, 2, 3, 4, 6, 7),
+            acceptable_labels=(5, 6),
+        )
+        back = result_from_json(result_to_json(ExperimentResult([record])))
+        assert back.records[0].acceptable_labels == (5, 6)
+        assert back.records[0].is_correct()
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        from repro.__main__ import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["end-to-end", "--per-class", "2"])
+        assert args.per_class == 2
+        assert callable(args.func)
+
+    def test_all_subcommands_registered(self):
+        from repro.__main__ import build_parser
+
+        parser = build_parser()
+        for cmd in ("end-to-end", "firebase", "compression", "isp",
+                    "raw-vs-jpeg", "stability"):
+            args = parser.parse_args([cmd] if cmd != "stability" else [cmd])
+            assert args.command == cmd
+
+    def test_requires_subcommand(self):
+        from repro.__main__ import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

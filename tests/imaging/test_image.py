@@ -1,0 +1,100 @@
+"""Tests for the ImageBuffer / RawImage containers."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import BAYER_PATTERNS, ImageBuffer, RawImage
+
+
+class TestImageBuffer:
+    def test_accepts_float_and_casts(self):
+        buf = ImageBuffer(np.zeros((2, 3, 3), dtype=np.float64))
+        assert buf.pixels.dtype == np.float32
+        assert buf.shape == (2, 3, 3)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            ImageBuffer(np.zeros((4, 4)))
+
+    def test_rejects_wrong_channels(self):
+        with pytest.raises(ValueError):
+            ImageBuffer(np.zeros((4, 4, 4)))
+
+    def test_from_uint8_roundtrip(self):
+        arr = np.arange(256, dtype=np.uint8).reshape(4, -1)[:4, :4]
+        rgb = np.stack([arr, arr, arr], axis=-1)
+        buf = ImageBuffer.from_uint8(rgb)
+        assert np.array_equal(buf.to_uint8(), rgb)
+
+    def test_from_uint8_requires_uint8(self):
+        with pytest.raises(TypeError):
+            ImageBuffer.from_uint8(np.zeros((2, 2, 3), dtype=np.float32))
+
+    def test_to_uint8_clips(self):
+        buf = ImageBuffer(np.array([[[1.5, -0.5, 0.5]]], dtype=np.float32))
+        out = buf.to_uint8()
+        assert out.tolist() == [[[255, 0, 128]]]
+
+    def test_clipped_returns_copy(self):
+        buf = ImageBuffer(np.full((2, 2, 3), 2.0, dtype=np.float32))
+        clipped = buf.clipped()
+        assert clipped.pixels.max() == 1.0
+        assert buf.pixels.max() == 2.0
+
+    def test_full_constructor(self):
+        buf = ImageBuffer.full(3, 5, 0.25)
+        assert buf.shape == (3, 5, 3)
+        assert np.all(buf.pixels == np.float32(0.25))
+
+    def test_scaled(self):
+        buf = ImageBuffer.full(2, 2, 0.5).scaled(0.5)
+        assert np.allclose(buf.pixels, 0.25)
+
+    def test_equality(self):
+        a = ImageBuffer.full(2, 2, 0.1)
+        b = ImageBuffer.full(2, 2, 0.1)
+        c = ImageBuffer.full(2, 2, 0.2)
+        assert a == b
+        assert not (a == c)
+
+
+class TestRawImage:
+    def test_basic_construction(self):
+        raw = RawImage(np.zeros((4, 6), dtype=np.float32))
+        assert raw.height == 4 and raw.width == 6
+        assert raw.pattern == "RGGB"
+
+    def test_rejects_odd_dims(self):
+        with pytest.raises(ValueError):
+            RawImage(np.zeros((3, 4), dtype=np.float32))
+
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            RawImage(np.zeros((4, 4), dtype=np.float32), pattern="XYZW")
+
+    def test_rejects_bad_levels(self):
+        with pytest.raises(ValueError):
+            RawImage(np.zeros((4, 4)), black_level=1.0, white_level=0.5)
+
+    @pytest.mark.parametrize("pattern", sorted(BAYER_PATTERNS))
+    def test_channel_masks_partition(self, pattern):
+        raw = RawImage(np.zeros((6, 8), dtype=np.float32), pattern=pattern)
+        masks = [raw.channel_mask(c) for c in range(3)]
+        total = sum(m.astype(int) for m in masks)
+        assert np.all(total == 1)
+        # Green photosites are twice as common in every Bayer layout.
+        assert masks[1].sum() == 2 * masks[0].sum() == 2 * masks[2].sum()
+
+    def test_rggb_corner_is_red(self):
+        raw = RawImage(np.zeros((4, 4), dtype=np.float32), pattern="RGGB")
+        assert raw.channel_mask(0)[0, 0]
+        assert raw.channel_mask(1)[0, 1]
+        assert raw.channel_mask(2)[1, 1]
+
+    def test_copy_is_deep(self):
+        raw = RawImage(np.zeros((4, 4), dtype=np.float32), metadata={"iso": 100})
+        dup = raw.copy()
+        dup.mosaic[0, 0] = 1.0
+        dup.metadata["iso"] = 200
+        assert raw.mosaic[0, 0] == 0.0
+        assert raw.metadata["iso"] == 100

@@ -1,0 +1,62 @@
+"""Tests for image-difference metrics."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import mse, pixel_diff_map, psnr, ssim
+
+
+def test_mse_zero_for_identical():
+    img = np.random.default_rng(0).random((4, 4, 3)).astype(np.float32)
+    assert mse(img, img) == 0.0
+
+
+def test_mse_shape_mismatch():
+    with pytest.raises(ValueError):
+        mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+def test_psnr_infinite_for_identical():
+    img = np.zeros((4, 4), dtype=np.float32)
+    assert psnr(img, img) == float("inf")
+
+
+def test_psnr_known_value():
+    a = np.zeros((10, 10), dtype=np.float32)
+    b = np.full((10, 10), 0.1, dtype=np.float32)
+    assert psnr(a, b) == pytest.approx(20.0, abs=1e-4)
+
+
+def test_pixel_diff_map_threshold():
+    a = np.zeros((4, 4, 3), dtype=np.float32)
+    b = a.copy()
+    b[0, 0, 0] = 0.2  # one divergent pixel
+    b[1, 1, 1] = 0.01  # below threshold
+    stats = pixel_diff_map(a, b, threshold=0.05)
+    assert stats.divergent_fraction == pytest.approx(1 / 16)
+    assert stats.mask[0, 0] and not stats.mask[1, 1]
+    assert stats.max_abs_diff == pytest.approx(0.2)
+
+
+def test_pixel_diff_map_grayscale():
+    a = np.zeros((2, 2), dtype=np.float32)
+    b = np.full((2, 2), 0.1, dtype=np.float32)
+    stats = pixel_diff_map(a, b)
+    assert stats.divergent_fraction == 1.0
+
+
+def test_ssim_identical_is_one():
+    img = np.random.default_rng(1).random((16, 16)).astype(np.float32)
+    assert ssim(img, img) == pytest.approx(1.0, abs=1e-5)
+
+
+def test_ssim_penalizes_noise():
+    rng = np.random.default_rng(2)
+    img = rng.random((32, 32)).astype(np.float32)
+    noisy = img + rng.normal(0, 0.2, img.shape).astype(np.float32)
+    assert ssim(img, noisy) < 0.9
+
+
+def test_ssim_color_input():
+    img = np.random.default_rng(3).random((16, 16, 3)).astype(np.float32)
+    assert ssim(img, img) == pytest.approx(1.0, abs=1e-5)

@@ -1,0 +1,123 @@
+"""Tests for pipeline composition and the vendor profiles."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import ImageBuffer, RawImage
+from repro.isp import (
+    BlackLevelCorrection,
+    Demosaic,
+    GammaEncode,
+    ISPPipeline,
+    Resize,
+    WhiteBalance,
+    available_isps,
+    build_isp,
+)
+from repro.sensor import BayerSensor, SensorConfig
+
+
+def _raw(seed=0):
+    sensor = BayerSensor(SensorConfig(resolution=(32, 32)))
+    rng = np.random.default_rng(seed)
+    img = ImageBuffer(rng.random((48, 48, 3)).astype(np.float32))
+    return sensor.capture(img, rng)
+
+
+class TestPipelineValidation:
+    def test_requires_exactly_one_demosaic(self):
+        with pytest.raises(ValueError):
+            ISPPipeline([BlackLevelCorrection(), GammaEncode()])
+        with pytest.raises(ValueError):
+            ISPPipeline([Demosaic(), Demosaic()])
+
+    def test_black_level_must_precede_demosaic(self):
+        with pytest.raises(ValueError):
+            ISPPipeline([Demosaic(), BlackLevelCorrection()])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ISPPipeline([])
+
+
+class TestPipelineExecution:
+    def test_minimal_pipeline(self):
+        pipeline = ISPPipeline([BlackLevelCorrection(), Demosaic(), Resize(24, 24)])
+        out = pipeline.process(_raw())
+        assert isinstance(out, ImageBuffer)
+        assert out.shape == (24, 24, 3)
+        assert 0.0 <= out.pixels.min() and out.pixels.max() <= 1.0
+
+    def test_deterministic(self):
+        pipeline = build_isp("imagemagick", 32, 32)
+        raw = _raw()
+        a = pipeline.process(raw)
+        b = pipeline.process(raw)
+        assert np.array_equal(a.pixels, b.pixels)
+
+    def test_does_not_mutate_raw(self):
+        raw = _raw()
+        original = raw.mosaic.copy()
+        build_isp("adobe", 32, 32).process(raw)
+        assert np.array_equal(raw.mosaic, original)
+
+    def test_taps(self):
+        pipeline = ISPPipeline(
+            [BlackLevelCorrection(), Demosaic(), WhiteBalance(), Resize(16, 16)]
+        )
+        out, taps = pipeline.process_with_taps(_raw())
+        # RGB-domain stages only: demosaic, wb, resize.
+        assert len(taps) == 3
+        final_key = sorted(taps)[-1]
+        assert np.array_equal(taps[final_key].pixels, out.pixels)
+
+    def test_stage_names(self):
+        pipeline = build_isp("samsung_s10")
+        names = pipeline.stage_names()
+        assert names[0] == "BlackLevelCorrection"
+        assert "Demosaic" in names
+
+
+class TestProfiles:
+    def test_all_profiles_listed(self):
+        names = available_isps()
+        assert {"samsung_s10", "lg_k10", "htc_desire10", "moto_g5",
+                "iphone_xr", "imagemagick", "adobe"} <= set(names)
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError, match="imagemagick"):
+            build_isp("lightroom")
+
+    @pytest.mark.parametrize("name", ["samsung_s10", "lg_k10", "htc_desire10",
+                                      "moto_g5", "iphone_xr", "imagemagick", "adobe"])
+    def test_every_profile_processes(self, name):
+        out = build_isp(name, 24, 24).process(_raw())
+        assert out.shape == (24, 24, 3)
+        assert np.isfinite(out.pixels).all()
+
+    def test_profiles_produce_distinct_images(self):
+        """Same raw, different vendor ISPs -> different pictures (§6)."""
+        raw = _raw(seed=5)
+        outputs = {
+            name: build_isp(name, 32, 32).process(raw).to_uint8()
+            for name in available_isps()
+        }
+        names = sorted(outputs)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                assert not np.array_equal(outputs[a], outputs[b]), (a, b)
+
+    def test_builders_are_pure(self):
+        a = build_isp("adobe")
+        b = build_isp("adobe")
+        assert a is not b
+        assert a.stage_names() == b.stage_names()
+
+    def test_software_isps_diverge_strongly(self):
+        """imagemagick vs adobe is the paper's Table 4 axis."""
+        from repro.imaging.metrics import psnr
+
+        raw = _raw(seed=7)
+        im = build_isp("imagemagick", 32, 32).process(raw)
+        adobe = build_isp("adobe", 32, 32).process(raw)
+        assert psnr(im.pixels, adobe.pixels) < 33.0

@@ -1,0 +1,69 @@
+"""Tests for the lab's shared plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.devices.runtime import Prediction
+from repro.imaging import ImageBuffer
+from repro.lab.common import SIZE_SCALE_TO_12MP, make_record, scaled_mb
+from repro.lab.rig import DisplayedImage
+from repro.scenes.dataset import LabeledScene
+from repro.scenes.objects import sample_object
+from repro.scenes.scene import Scene
+
+
+def _displayed(image_id=5, angle=15.0, label=2, class_name="wine_bottle"):
+    spec = sample_object(class_name, object_id=9, rng=np.random.default_rng(0))
+    item = LabeledScene(
+        scene=Scene(spec=spec), class_name=class_name, label=label, object_id=9
+    )
+    return DisplayedImage(
+        image_id=image_id,
+        radiance=ImageBuffer.full(8, 8, 0.5),
+        item=item,
+        angle=angle,
+    )
+
+
+def _prediction(top=3):
+    probs = [0.05] * 8
+    probs[top] = 1.0 - 0.05 * 7
+    ranking = tuple(
+        sorted(range(8), key=lambda c: -probs[c])
+    )
+    return Prediction(ranking=ranking, probabilities=tuple(probs))
+
+
+class TestMakeRecord:
+    def test_fields_copied_from_displayed(self):
+        record = make_record(_prediction(), _displayed(), environment="phone_x")
+        assert record.environment == "phone_x"
+        assert record.image_id == 5
+        assert record.angle == 15.0
+        assert record.true_label == 2
+        assert record.class_name == "wine_bottle"
+        assert record.predicted_label == 3
+        assert record.metadata["object_key"] == 9
+        assert record.metadata["predicted_class"] == "purse"
+
+    def test_image_id_override(self):
+        record = make_record(
+            _prediction(), _displayed(), environment="e", image_id=42
+        )
+        assert record.image_id == 42
+
+    def test_probabilities_preserved(self):
+        pred = _prediction()
+        record = make_record(pred, _displayed(), environment="e")
+        assert record.metadata["probabilities"] == pred.probabilities
+        assert record.confidence == pytest.approx(pred.confidence)
+
+
+class TestScaledSizes:
+    def test_scale_factor_documented_value(self):
+        assert SIZE_SCALE_TO_12MP == pytest.approx(12_000_000 / 9216)
+
+    def test_scaled_mb(self):
+        assert scaled_mb(9216) == pytest.approx(12_000_000 / 1e6 * 9216 / 9216 / 1000 * 1000, rel=1e-6)
+        # A 9216-byte file (1 byte/pixel at 96x96) scales to 12 MB at 12 MP.
+        assert scaled_mb(9216) == pytest.approx(12.0)

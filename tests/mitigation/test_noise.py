@@ -1,0 +1,121 @@
+"""Tests for the stability-training noise generators."""
+
+import numpy as np
+import pytest
+
+from repro.mitigation.noise import (
+    DistortionNoise,
+    GaussianNoise,
+    NoNoise,
+    SubsampleNoise,
+    TwoImageNoise,
+)
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, (6, 3, 32, 32)).astype(np.float32)
+    labels = np.array([0, 0, 1, 1, 2, 2])
+    indices = np.arange(6)
+    return x, labels, indices
+
+
+class TestNoNoise:
+    def test_identity(self, batch):
+        x, labels, indices = batch
+        out = NoNoise().generate(x, labels, indices, np.random.default_rng(0))
+        assert out is x
+
+
+class TestGaussian:
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(0.0)
+
+    def test_noise_statistics(self, batch):
+        x, labels, indices = batch
+        gen = GaussianNoise(sigma2=0.04)
+        out = gen.generate(np.zeros((4, 3, 32, 32), dtype=np.float32), labels[:4], indices[:4], np.random.default_rng(0))
+        assert out.std() == pytest.approx(0.2, rel=0.05)
+
+    def test_clipped_to_valid_range(self, batch):
+        x, labels, indices = batch
+        out = GaussianNoise(1.0).generate(x, labels, indices, np.random.default_rng(0))
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+
+class TestDistortion:
+    def test_output_differs_and_in_range(self, batch):
+        x, labels, indices = batch
+        out = DistortionNoise().generate(x, labels, indices, np.random.default_rng(0))
+        assert out.shape == x.shape
+        assert not np.array_equal(out, x)
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+    def test_jpeg_quality_range_respected(self, batch):
+        """Degenerate quality range still runs (q=95 fixed)."""
+        x, labels, indices = batch
+        gen = DistortionNoise(jpeg_quality_range=(95, 95))
+        out = gen.generate(x[:2], labels[:2], indices[:2], np.random.default_rng(0))
+        assert out.shape == (2, 3, 32, 32)
+
+    def test_reproducible_given_rng(self, batch):
+        x, labels, indices = batch
+        a = DistortionNoise().generate(x, labels, indices, np.random.default_rng(9))
+        b = DistortionNoise().generate(x, labels, indices, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+
+class TestTwoImage:
+    def test_returns_paired_rows(self, batch):
+        x, labels, indices = batch
+        paired = x[::-1].copy()
+        gen = TwoImageNoise(paired)
+        out = gen.generate(x[2:4], labels[2:4], indices[2:4], np.random.default_rng(0))
+        assert np.array_equal(out, paired[2:4])
+
+    def test_out_of_range_index(self, batch):
+        x, labels, indices = batch
+        gen = TwoImageNoise(x[:2])
+        with pytest.raises(IndexError):
+            gen.generate(x, labels, indices, np.random.default_rng(0))
+
+
+class TestSubsample:
+    def test_pool_respects_class(self, batch):
+        x, labels, indices = batch
+        pool_x = np.stack(
+            [np.full((3, 32, 32), float(c), dtype=np.float32) for c in (0, 1, 2)]
+        )
+        pool_labels = np.array([0, 1, 2])
+        gen = SubsampleNoise(pool_x, pool_labels)
+        out = gen.generate(x, labels, indices, np.random.default_rng(0))
+        for i, cls in enumerate(labels):
+            assert np.allclose(out[i], float(cls))
+
+    def test_missing_class_raises(self, batch):
+        x, labels, indices = batch
+        gen = SubsampleNoise(x[:2], np.array([0, 0]))
+        with pytest.raises(KeyError):
+            gen.generate(x, labels, indices, np.random.default_rng(0))
+
+    def test_from_corpus_limits_pool(self):
+        rng = np.random.default_rng(0)
+        paired = rng.normal(size=(30, 3, 4, 4)).astype(np.float32)
+        labels = np.repeat(np.arange(3), 10)
+        gen = SubsampleNoise.from_corpus(paired, labels, images_per_class=2, rng=rng)
+        assert all(len(pool) == 2 for pool in gen._by_class.values())
+
+    def test_from_corpus_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            SubsampleNoise.from_corpus(
+                np.zeros((2, 3, 4, 4), dtype=np.float32),
+                np.array([0, 1]),
+                images_per_class=0,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            SubsampleNoise(np.zeros((0, 3, 4, 4), dtype=np.float32), np.zeros(0))

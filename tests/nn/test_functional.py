@@ -1,0 +1,153 @@
+"""Tests for low-level NN primitives, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import (
+    col2im,
+    conv2d_backward,
+    conv2d_forward,
+    depthwise_conv2d_backward,
+    depthwise_conv2d_forward,
+    global_avg_pool_backward,
+    global_avg_pool_forward,
+    im2col,
+    log_softmax,
+    softmax,
+)
+
+
+class TestIm2col:
+    def test_shapes(self):
+        x = np.zeros((2, 3, 8, 8), dtype=np.float32)
+        cols, (oh, ow) = im2col(x, kernel=3, stride=1, pad=1)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2 * 64, 27)
+
+    def test_stride(self):
+        x = np.zeros((1, 1, 8, 8), dtype=np.float32)
+        cols, (oh, ow) = im2col(x, kernel=3, stride=2, pad=1)
+        assert (oh, ow) == (4, 4)
+
+    def test_collapsed_output_rejected(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 1, 2, 2)), kernel=5, stride=1, pad=0)
+
+    def test_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols, _ = im2col(x, kernel=2, stride=2, pad=0)
+        # First window is the top-left 2x2 block.
+        assert cols[0].tolist() == [0, 1, 4, 5]
+
+    def test_col2im_adjoint(self):
+        """<im2col(x), c> == <x, col2im(c)> — the defining adjoint identity."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float64)
+        cols, _ = im2col(x, kernel=3, stride=2, pad=1)
+        c = rng.normal(size=cols.shape)
+        lhs = float((cols * c).sum())
+        rhs = float((x * col2im(c, x.shape, 3, 2, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestConv2d:
+    def test_forward_matches_naive(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        w = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        b = rng.normal(size=3).astype(np.float32)
+        y, _ = conv2d_forward(x, w, b, stride=1, pad=1)
+
+        # Naive reference.
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros_like(y)
+        for oc in range(3):
+            for i in range(5):
+                for j in range(5):
+                    patch = xp[0, :, i : i + 3, j : j + 3]
+                    ref[0, oc, i, j] = (patch * w[oc]).sum() + b[oc]
+        assert np.allclose(y, ref, atol=1e-4)
+
+    def test_gradients_via_inner_product(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float64)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float64)
+        b = rng.normal(size=4).astype(np.float64)
+        y, cache = conv2d_forward(x, w, b, stride=2, pad=1)
+        dy = rng.normal(size=y.shape)
+        dx, dw, db = conv2d_backward(dy, cache)
+        eps = 1e-6
+        # Directional derivative check on x.
+        v = rng.normal(size=x.shape)
+        y2, _ = conv2d_forward(x + eps * v, w, b, stride=2, pad=1)
+        num = ((y2 - y) * dy).sum() / eps
+        assert num == pytest.approx((dx * v).sum(), rel=1e-4)
+        # And on w.
+        vw = rng.normal(size=w.shape)
+        y3, _ = conv2d_forward(x, w + eps * vw, b, stride=2, pad=1)
+        num_w = ((y3 - y) * dy).sum() / eps
+        assert num_w == pytest.approx((dw * vw).sum(), rel=1e-4)
+        assert np.allclose(db, dy.sum(axis=(0, 2, 3)))
+
+
+class TestDepthwiseConv:
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            depthwise_conv2d_forward(
+                np.zeros((1, 3, 4, 4)), np.zeros((4, 3, 3)), None, 1, 1
+            )
+
+    def test_channels_independent(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        w = rng.normal(size=(2, 3, 3)).astype(np.float32)
+        y, _ = depthwise_conv2d_forward(x, w, None, 1, 1)
+        # Zeroing channel 1's input must not change channel 0's output.
+        x2 = x.copy()
+        x2[:, 1] = 0
+        y2, _ = depthwise_conv2d_forward(x2, w, None, 1, 1)
+        assert np.allclose(y[:, 0], y2[:, 0])
+        assert not np.allclose(y[:, 1], y2[:, 1])
+
+    def test_gradients_via_inner_product(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float64)
+        w = rng.normal(size=(3, 3, 3)).astype(np.float64)
+        b = rng.normal(size=3).astype(np.float64)
+        y, cache = depthwise_conv2d_forward(x, w, b, stride=2, pad=1)
+        dy = rng.normal(size=y.shape)
+        dx, dw, db = depthwise_conv2d_backward(dy, cache)
+        eps = 1e-6
+        v = rng.normal(size=x.shape)
+        y2, _ = depthwise_conv2d_forward(x + eps * v, w, b, stride=2, pad=1)
+        assert ((y2 - y) * dy).sum() / eps == pytest.approx((dx * v).sum(), rel=1e-4)
+        vw = rng.normal(size=w.shape)
+        y3, _ = depthwise_conv2d_forward(x, w + eps * vw, b, stride=2, pad=1)
+        assert ((y3 - y) * dy).sum() / eps == pytest.approx((dw * vw).sum(), rel=1e-4)
+
+
+class TestPoolAndSoftmax:
+    def test_global_avg_pool(self):
+        x = np.arange(8, dtype=np.float32).reshape(1, 2, 2, 2)
+        y, shape = global_avg_pool_forward(x)
+        assert y.shape == (1, 2)
+        assert y[0, 0] == pytest.approx(1.5)
+        dy = np.ones((1, 2))
+        dx = global_avg_pool_backward(dy, shape)
+        assert np.allclose(dx, 0.25)
+
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(5)
+        logits = rng.normal(0, 10, (7, 5))
+        p = softmax(logits)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert p.min() >= 0
+
+    def test_softmax_stable_for_large_logits(self):
+        p = softmax(np.array([[1e4, 0.0]]))
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self):
+        logits = np.random.default_rng(6).normal(size=(3, 4))
+        assert np.allclose(np.exp(log_softmax(logits)), softmax(logits), atol=1e-7)

@@ -1,0 +1,161 @@
+"""Tests for losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.losses import (
+    cross_entropy,
+    embedding_stability_loss,
+    kl_stability_loss,
+)
+from repro.nn.optim import SGD, Adam
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0]])
+        loss, grad = cross_entropy(logits, np.array([0]))
+        assert loss < 1e-4
+        assert np.abs(grad).max() < 1e-4
+
+    def test_uniform_prediction(self):
+        logits = np.zeros((1, 4))
+        loss, _ = cross_entropy(logits, np.array([2]))
+        assert loss == pytest.approx(np.log(4))
+
+    def test_gradient_numerically(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([0, 2, 4])
+        loss, grad = cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(5):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                l2, _ = cross_entropy(bumped, labels)
+                assert (l2 - loss) / eps == pytest.approx(grad[i, j], abs=1e-4)
+
+    def test_label_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((2, 3)), np.array([0]))
+
+
+class TestKLStability:
+    def test_zero_when_identical(self):
+        logits = np.random.default_rng(1).normal(size=(4, 6))
+        loss, dclean, dnoisy = kl_stability_loss(logits, logits.copy())
+        assert loss == pytest.approx(0.0, abs=1e-7)
+        assert np.allclose(dnoisy, 0.0, atol=1e-7)
+        assert np.allclose(dclean, 0.0, atol=1e-6)
+
+    def test_positive_when_different(self):
+        rng = np.random.default_rng(2)
+        loss, _, _ = kl_stability_loss(rng.normal(size=(3, 4)), rng.normal(size=(3, 4)))
+        assert loss > 0
+
+    def test_gradients_numerically(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(2, 4))
+        b = rng.normal(size=(2, 4))
+        loss, dclean, dnoisy = kl_stability_loss(a, b)
+        eps = 1e-6
+        for i in range(2):
+            for j in range(4):
+                a2 = a.copy(); a2[i, j] += eps
+                l2, _, _ = kl_stability_loss(a2, b)
+                assert (l2 - loss) / eps == pytest.approx(dclean[i, j], abs=1e-4)
+                b2 = b.copy(); b2[i, j] += eps
+                l3, _, _ = kl_stability_loss(a, b2)
+                assert (l3 - loss) / eps == pytest.approx(dnoisy[i, j], abs=1e-4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_stability_loss(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestEmbeddingStability:
+    def test_zero_when_identical(self):
+        emb = np.random.default_rng(4).normal(size=(3, 8))
+        loss, dc, dn = embedding_stability_loss(emb, emb.copy())
+        assert loss == pytest.approx(0.0)
+
+    def test_value_is_mean_distance(self):
+        a = np.zeros((2, 3))
+        b = np.array([[3.0, 4.0, 0.0], [0.0, 0.0, 1.0]])
+        loss, _, _ = embedding_stability_loss(a, b)
+        assert loss == pytest.approx((5.0 + 1.0) / 2)
+
+    def test_gradients_opposite(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(4, 6))
+        b = rng.normal(size=(4, 6))
+        _, dc, dn = embedding_stability_loss(a, b)
+        assert np.allclose(dc, -dn)
+
+    def test_gradient_numerically(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(2, 3))
+        loss, dc, _ = embedding_stability_loss(a, b)
+        eps = 1e-6
+        a2 = a.copy()
+        a2[0, 1] += eps
+        l2, _, _ = embedding_stability_loss(a2, b)
+        assert (l2 - loss) / eps == pytest.approx(dc[0, 1], abs=1e-4)
+
+
+def _quadratic_problem(opt_factory, steps=200):
+    """Minimize ||W x - t||^2 over a Dense layer with the given optimizer."""
+    rng = np.random.default_rng(0)
+    dense = Dense(4, 2, rng=rng)
+    x = rng.normal(size=(16, 4)).astype(np.float32)
+    # A realizable target (x @ W* + b*), so the optimum loss is ~0.
+    w_true = rng.normal(size=(2, 4)).astype(np.float32)
+    b_true = rng.normal(size=2).astype(np.float32)
+    target = x @ w_true.T + b_true
+    opt = opt_factory([dense])
+    losses = []
+    for _ in range(steps):
+        dense.zero_grad()
+        y = dense.forward(x)
+        diff = y - target
+        losses.append(float((diff**2).mean()))
+        dense.backward(2 * diff / diff.size)
+        opt.step()
+    return losses
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        losses = _quadratic_problem(lambda l: SGD(l, lr=0.5, momentum=0.9))
+        assert losses[-1] < losses[0] * 0.01
+
+    def test_adam_converges(self):
+        losses = _quadratic_problem(lambda l: Adam(l, lr=0.05))
+        assert losses[-1] < losses[0] * 0.01
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([], lr=-1.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        rng = np.random.default_rng(1)
+        dense = Dense(4, 4, rng=rng)
+        dense.zero_grad()  # zero gradients: only decay acts
+        before = np.abs(dense.params["weight"]).sum()
+        opt = SGD([dense], lr=0.1, momentum=0.0, weight_decay=0.1)
+        for _ in range(10):
+            opt.step()
+        assert np.abs(dense.params["weight"]).sum() < before
+
+    def test_zero_grad_helper(self):
+        dense = Dense(2, 2, rng=np.random.default_rng(2))
+        dense.forward(np.ones((1, 2), dtype=np.float32))
+        dense.backward(np.ones((1, 2), dtype=np.float32))
+        opt = Adam([dense])
+        opt.zero_grad()
+        assert np.allclose(dense.grads["weight"], 0.0)

@@ -1,0 +1,48 @@
+"""Tests for the pretrained-model disk cache."""
+
+import numpy as np
+import pytest
+
+from repro.nn.pretrained import PretrainConfig, load_pretrained
+
+
+@pytest.fixture
+def tiny_config():
+    """A configuration small enough to train inside a test (~5 s)."""
+    return PretrainConfig(
+        per_class=1, scenes_per_object=1, epochs=1, augment_copies=1, seed=3
+    )
+
+
+class TestCache:
+    def test_train_then_cache_hit(self, tiny_config, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = load_pretrained(tiny_config)
+        cached_files = list(tmp_path.glob("base_*.npz"))
+        assert len(cached_files) == 1
+
+        second = load_pretrained(tiny_config)
+        x = np.random.default_rng(0).normal(size=(2, 3, 32, 32)).astype(np.float32)
+        assert np.allclose(first.forward(x)[0], second.forward(x)[0], atol=1e-6)
+
+    def test_distinct_configs_distinct_cache_entries(
+        self, tiny_config, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        load_pretrained(tiny_config)
+        other = PretrainConfig(
+            per_class=1, scenes_per_object=1, epochs=2, augment_copies=1, seed=3
+        )
+        load_pretrained(other)
+        assert len(list(tmp_path.glob("base_*.npz"))) == 2
+
+    def test_training_is_deterministic(self, tiny_config, tmp_path, monkeypatch):
+        """Two cold trainings of the same config give identical weights."""
+        from repro.nn.pretrained import train_base_model
+
+        a = train_base_model(tiny_config)
+        b = train_base_model(tiny_config)
+        sa, sb = a.state_dict(), b.state_dict()
+        assert sa.keys() == sb.keys()
+        for key in sa:
+            assert np.array_equal(sa[key], sb[key]), key

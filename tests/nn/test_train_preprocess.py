@@ -1,0 +1,126 @@
+"""Tests for the training loop and input preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import ImageBuffer
+from repro.nn.model import micro_mobilenet
+from repro.nn.optim import Adam
+from repro.nn.preprocess import MODEL_INPUT_SIZE, to_model_input
+from repro.nn.train import TrainConfig, evaluate_accuracy, fit, iterate_minibatches
+
+
+class TestPreprocess:
+    def test_single_image_batched(self):
+        x = to_model_input(ImageBuffer.full(96, 96, 0.5))
+        assert x.shape == (1, 3, MODEL_INPUT_SIZE, MODEL_INPUT_SIZE)
+
+    def test_range_is_minus_one_to_one(self):
+        black = to_model_input(ImageBuffer.full(64, 64, 0.0))
+        white = to_model_input(ImageBuffer.full(64, 64, 1.0))
+        assert np.allclose(black, -1.0)
+        assert np.allclose(white, 1.0)
+
+    def test_quantizes_through_uint8(self):
+        # Two values inside the same uint8 bucket map identically.
+        a = to_model_input(ImageBuffer.full(32, 32, 0.5))
+        b = to_model_input(ImageBuffer.full(32, 32, 0.5 + 1e-4))
+        assert np.array_equal(a, b)
+
+    def test_multiple_images(self):
+        imgs = [ImageBuffer.full(48, 48, v) for v in (0.1, 0.9)]
+        x = to_model_input(imgs)
+        assert x.shape[0] == 2
+        assert x[0].mean() < x[1].mean()
+
+
+class TestMinibatches:
+    def test_covers_all_data(self):
+        x = np.arange(10)[:, None]
+        y = np.arange(10)
+        seen = []
+        for xb, yb in iterate_minibatches(x, y, 3):
+            seen.extend(yb.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_shuffle_changes_order(self):
+        x = np.arange(32)[:, None]
+        y = np.arange(32)
+        ordered = [yb for _, yb in iterate_minibatches(x, y, 8)]
+        shuffled = [
+            yb
+            for _, yb in iterate_minibatches(x, y, 8, np.random.default_rng(0))
+        ]
+        assert not all(
+            np.array_equal(a, b) for a, b in zip(ordered, shuffled)
+        )
+
+
+class TestFit:
+    def test_loss_decreases_on_separable_data(self):
+        rng = np.random.default_rng(0)
+        model = micro_mobilenet(num_classes=2, seed=0)
+        # Two trivially separable classes: bright vs dark images.
+        x = np.concatenate(
+            [
+                np.full((10, 3, 32, 32), 0.8, dtype=np.float32),
+                np.full((10, 3, 32, 32), -0.8, dtype=np.float32),
+            ]
+        )
+        x += rng.normal(0, 0.05, x.shape).astype(np.float32)
+        y = np.array([0] * 10 + [1] * 10)
+        losses = fit(
+            model,
+            Adam(model.trainable_layers(), lr=3e-3),
+            x,
+            y,
+            TrainConfig(epochs=6, batch_size=10, seed=0),
+        )
+        assert losses[-1] < losses[0]
+        assert evaluate_accuracy(model, x, y) == 1.0
+
+    def test_length_mismatch(self):
+        model = micro_mobilenet(num_classes=2, seed=0)
+        with pytest.raises(ValueError):
+            fit(
+                model,
+                Adam(model.trainable_layers()),
+                np.zeros((3, 3, 32, 32), dtype=np.float32),
+                np.zeros(2, dtype=np.int64),
+                TrainConfig(epochs=1),
+            )
+
+    def test_epoch_callback(self):
+        model = micro_mobilenet(num_classes=2, seed=0)
+        calls = []
+        fit(
+            model,
+            Adam(model.trainable_layers()),
+            np.zeros((4, 3, 32, 32), dtype=np.float32),
+            np.array([0, 1, 0, 1]),
+            TrainConfig(
+                epochs=2,
+                batch_size=4,
+                on_epoch_end=lambda e, l, a: calls.append((e, l, a)),
+            ),
+        )
+        assert [c[0] for c in calls] == [0, 1]
+
+
+class TestPretrainedConfig:
+    def test_cache_key_stable_and_distinct(self):
+        from repro.nn.pretrained import PretrainConfig
+
+        a = PretrainConfig()
+        b = PretrainConfig()
+        c = PretrainConfig(epochs=a.epochs + 1)
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != c.cache_key()
+
+    def test_render_training_set_shapes(self):
+        from repro.nn.pretrained import PretrainConfig, render_training_set
+
+        cfg = PretrainConfig(per_class=1, scenes_per_object=1)
+        x, y = render_training_set(cfg)
+        assert x.shape == (8, 3, 32, 32)  # 8 classes x 1 object x 1 scene
+        assert set(y.tolist()) == set(range(8))

@@ -1,0 +1,124 @@
+"""Tests for object sampling/rendering and scene composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenes.objects import (
+    ALL_CLASSES,
+    DISTRACTOR_CLASSES,
+    TARGET_CLASSES,
+    render_object,
+    sample_object,
+)
+from repro.scenes.primitives import Canvas
+from repro.scenes.scene import Scene, sample_scene
+
+
+class TestClasses:
+    def test_paper_classes_present(self):
+        assert TARGET_CLASSES == (
+            "water_bottle",
+            "beer_bottle",
+            "wine_bottle",
+            "purse",
+            "backpack",
+        )
+
+    def test_distractors_disjoint(self):
+        assert not set(TARGET_CLASSES) & set(DISTRACTOR_CLASSES)
+
+    def test_all_classes_order(self):
+        assert ALL_CLASSES[:5] == TARGET_CLASSES
+
+
+class TestSampling:
+    def test_deterministic_given_rng(self):
+        a = sample_object("purse", 1, np.random.default_rng(5))
+        b = sample_object("purse", 1, np.random.default_rng(5))
+        assert a.params == b.params
+
+    def test_distinct_objects_differ(self):
+        rng = np.random.default_rng(0)
+        a = sample_object("backpack", 0, rng)
+        b = sample_object("backpack", 1, rng)
+        assert a.params != b.params
+
+    def test_unknown_class(self):
+        with pytest.raises(ValueError):
+            sample_object("spaceship", 0, np.random.default_rng(0))
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_every_class_renders_visibly(self, cls):
+        rng = np.random.default_rng(42)
+        spec = sample_object(cls, 0, rng)
+        canvas = Canvas(64, 64, background=(1.0, 1.0, 1.0))
+        render_object(canvas, spec)
+        # The object must darken a meaningful area of the white canvas.
+        changed = (canvas.pixels < 0.99).any(axis=-1).mean()
+        assert changed > 0.03, f"{cls} rendered almost nothing"
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_random_objects_render_without_error(self, seed):
+        rng = np.random.default_rng(seed)
+        cls = ALL_CLASSES[seed % len(ALL_CLASSES)]
+        spec = sample_object(cls, seed, rng)
+        canvas = Canvas(32, 32)
+        render_object(canvas, spec)
+        assert np.isfinite(canvas.pixels).all()
+
+
+class TestScene:
+    def _spec(self):
+        return sample_object("purse", 0, np.random.default_rng(3))
+
+    def test_render_deterministic(self):
+        scene = Scene(spec=self._spec())
+        a = scene.render(48, 48)
+        b = scene.render(48, 48)
+        assert np.array_equal(a.pixels, b.pixels)
+
+    def test_render_shape_and_range(self):
+        img = Scene(spec=self._spec()).render(40, 56)
+        assert img.shape == (40, 56, 3)
+        assert img.pixels.min() >= 0.0 and img.pixels.max() <= 1.0
+
+    def test_supersampling_antialiases(self):
+        scene = Scene(spec=self._spec())
+        rough = scene.render(48, 48, supersample=1)
+        smooth = scene.render(48, 48, supersample=3)
+        # Supersampling introduces intermediate edge values.
+        n_rough = len(np.unique(rough.to_uint8()))
+        n_smooth = len(np.unique(smooth.to_uint8()))
+        assert n_smooth > n_rough
+
+    def test_rejects_bad_supersample(self):
+        with pytest.raises(ValueError):
+            Scene(spec=self._spec()).render(32, 32, supersample=0)
+
+    def test_brightness_scales(self):
+        bright = Scene(spec=self._spec(), brightness=1.1).render(32, 32)
+        dark = Scene(spec=self._spec(), brightness=0.8).render(32, 32)
+        assert bright.pixels.mean() > dark.pixels.mean()
+
+    def test_warmth_shifts_channels(self):
+        warm = Scene(spec=self._spec(), warmth=0.1).render(32, 32)
+        cool = Scene(spec=self._spec(), warmth=-0.1).render(32, 32)
+        warm_ratio = warm.pixels[..., 0].mean() / warm.pixels[..., 2].mean()
+        cool_ratio = cool.pixels[..., 0].mean() / cool.pixels[..., 2].mean()
+        assert warm_ratio > cool_ratio
+
+    def test_offset_moves_object(self):
+        centered = Scene(spec=self._spec()).render(48, 48)
+        shifted = Scene(spec=self._spec(), x_offset=0.2).render(48, 48)
+        assert not np.array_equal(centered.pixels, shifted.pixels)
+
+    def test_sample_scene_varies_staging(self):
+        rng = np.random.default_rng(0)
+        spec = self._spec()
+        a = sample_scene(spec, rng)
+        b = sample_scene(spec, rng)
+        assert a != b
+        assert a.spec is spec and b.spec is spec

@@ -1,0 +1,122 @@
+"""Tests for rasterization primitives."""
+
+import numpy as np
+import pytest
+
+from repro.scenes.primitives import (
+    Canvas,
+    fill_annulus_arc,
+    fill_ellipse,
+    fill_polygon,
+    fill_rect,
+    fill_rounded_rect,
+    vertical_gradient,
+)
+
+
+class TestCanvas:
+    def test_background_fill(self):
+        c = Canvas(4, 6, background=(0.5, 0.25, 0.75))
+        assert c.pixels.shape == (4, 6, 3)
+        assert np.allclose(c.pixels[..., 0], 0.5)
+        assert np.allclose(c.pixels[..., 2], 0.75)
+
+    def test_coordinate_grids(self):
+        c = Canvas(2, 2)
+        assert c.xx[0, 0] == pytest.approx(0.25)
+        assert c.xx[0, 1] == pytest.approx(0.75)
+        assert c.yy[1, 0] == pytest.approx(0.75)
+
+    def test_blend_alpha(self):
+        c = Canvas(2, 2, background=(0.0, 0.0, 0.0))
+        c.blend(np.ones((2, 2), dtype=bool), (1.0, 1.0, 1.0), alpha=0.5)
+        assert np.allclose(c.pixels, 0.5)
+
+
+class TestRect:
+    def test_fills_inside_only(self):
+        c = Canvas(10, 10, background=(0, 0, 0))
+        fill_rect(c, 0.25, 0.25, 0.75, 0.75, (1, 1, 1))
+        assert c.pixels[5, 5, 0] == 1.0
+        assert c.pixels[0, 0, 0] == 0.0
+
+    def test_area_fraction(self):
+        c = Canvas(100, 100, background=(0, 0, 0))
+        fill_rect(c, 0.0, 0.0, 0.5, 1.0, (1, 1, 1))
+        assert c.pixels[..., 0].mean() == pytest.approx(0.5, abs=0.02)
+
+
+class TestEllipse:
+    def test_center_filled(self):
+        c = Canvas(20, 20, background=(0, 0, 0))
+        fill_ellipse(c, 0.5, 0.5, 0.3, 0.2, (1, 0, 0))
+        assert c.pixels[10, 10, 0] == 1.0
+        assert c.pixels[0, 0, 0] == 0.0
+
+    def test_area_matches_formula(self):
+        c = Canvas(200, 200, background=(0, 0, 0))
+        fill_ellipse(c, 0.5, 0.5, 0.4, 0.25, (1, 1, 1))
+        assert c.pixels[..., 0].mean() == pytest.approx(np.pi * 0.4 * 0.25, abs=0.01)
+
+    def test_rejects_bad_radii(self):
+        with pytest.raises(ValueError):
+            fill_ellipse(Canvas(4, 4), 0.5, 0.5, 0.0, 0.2, (1, 1, 1))
+
+
+class TestPolygon:
+    def test_triangle(self):
+        c = Canvas(50, 50, background=(0, 0, 0))
+        fill_polygon(c, [(0.5, 0.1), (0.9, 0.9), (0.1, 0.9)], (0, 1, 0))
+        assert c.pixels[35, 25, 1] == 1.0  # inside
+        assert c.pixels[5, 5, 1] == 0.0  # outside
+
+    def test_square_area(self):
+        c = Canvas(100, 100, background=(0, 0, 0))
+        fill_polygon(
+            c, [(0.2, 0.2), (0.8, 0.2), (0.8, 0.8), (0.2, 0.8)], (1, 1, 1)
+        )
+        assert c.pixels[..., 0].mean() == pytest.approx(0.36, abs=0.02)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            fill_polygon(Canvas(4, 4), [(0, 0), (1, 1)], (1, 1, 1))
+
+
+class TestRoundedRect:
+    def test_corners_cut(self):
+        c = Canvas(100, 100, background=(0, 0, 0))
+        fill_rounded_rect(c, 0.1, 0.1, 0.9, 0.9, 0.2, (1, 1, 1))
+        assert c.pixels[50, 50, 0] == 1.0
+        # The extreme corner of the bounding box is outside the rounding.
+        assert c.pixels[11, 11, 0] == 0.0
+
+    def test_radius_clamped(self):
+        c = Canvas(50, 50, background=(0, 0, 0))
+        fill_rounded_rect(c, 0.4, 0.4, 0.6, 0.6, 10.0, (1, 1, 1))
+        assert c.pixels[25, 25, 0] == 1.0
+
+
+class TestAnnulus:
+    def test_ring_shape(self):
+        c = Canvas(100, 100, background=(0, 0, 0))
+        fill_annulus_arc(c, 0.5, 0.5, 0.4, 0.3, (1, 1, 1), upper_only=False)
+        assert c.pixels[50, 50, 0] == 0.0  # hole
+        assert c.pixels[50, 15, 0] == 1.0  # ring at left
+
+    def test_upper_only(self):
+        c = Canvas(100, 100, background=(0, 0, 0))
+        fill_annulus_arc(c, 0.5, 0.5, 0.4, 0.3, (1, 1, 1), upper_only=True)
+        assert c.pixels[15, 50, 0] == 1.0  # above center
+        assert c.pixels[85, 50, 0] == 0.0  # below center
+
+    def test_rejects_bad_radii(self):
+        with pytest.raises(ValueError):
+            fill_annulus_arc(Canvas(4, 4), 0.5, 0.5, 0.2, 0.3, (1, 1, 1))
+
+
+def test_vertical_gradient():
+    c = Canvas(10, 4)
+    vertical_gradient(c, (0, 0, 0), (1, 1, 1))
+    col = c.pixels[:, 0, 0]
+    assert np.all(np.diff(col) > 0)
+    assert col[0] < 0.1 and col[-1] > 0.9

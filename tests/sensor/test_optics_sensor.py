@@ -1,0 +1,123 @@
+"""Tests for the lens model and the Bayer sensor."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import ImageBuffer
+from repro.sensor.noise import SensorNoiseModel
+from repro.sensor.optics import LensModel
+from repro.sensor.sensor import BayerSensor, SensorConfig
+
+
+class TestLensModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LensModel(vignetting=1.0)
+        with pytest.raises(ValueError):
+            LensModel(blur_sigma=-1)
+
+    def test_requires_rgb(self):
+        with pytest.raises(ValueError):
+            LensModel().apply(np.zeros((8, 8)))
+
+    def test_vignetting_darkens_corners(self):
+        lens = LensModel(vignetting=0.3, blur_sigma=0.0, chromatic_aberration=0.0)
+        out = lens.apply(np.ones((33, 33, 3), dtype=np.float32))
+        assert out[16, 16, 0] == pytest.approx(1.0, abs=1e-3)
+        assert out[0, 0, 0] < 0.8
+
+    def test_no_vignetting_identity(self):
+        lens = LensModel(vignetting=0.0, blur_sigma=0.0, chromatic_aberration=0.0)
+        img = np.random.default_rng(0).random((16, 16, 3)).astype(np.float32)
+        assert np.allclose(lens.apply(img), img, atol=1e-6)
+
+    def test_blur_smooths(self):
+        lens = LensModel(vignetting=0.0, blur_sigma=1.5, chromatic_aberration=0.0)
+        img = np.zeros((16, 16, 3), dtype=np.float32)
+        img[8, 8] = 1.0
+        out = lens.apply(img)
+        assert out[8, 8, 0] < 0.5
+        assert out[8, 9, 0] > 0.0
+
+    def test_chromatic_aberration_separates_channels(self):
+        lens = LensModel(vignetting=0.0, blur_sigma=0.0, chromatic_aberration=0.01)
+        img = np.zeros((33, 33, 3), dtype=np.float32)
+        img[:, 24:, :] = 1.0  # vertical edge off-center
+        out = lens.apply(img)
+        # Red (magnified) and blue (shrunk) edges land at different columns.
+        assert not np.allclose(out[..., 0], out[..., 2], atol=1e-3)
+
+
+class TestSensorConfig:
+    def test_rejects_odd_resolution(self):
+        with pytest.raises(ValueError):
+            SensorConfig(resolution=(95, 96))
+
+    def test_rejects_bad_pattern(self):
+        with pytest.raises(ValueError):
+            SensorConfig(pattern="ABCD")
+
+    def test_rejects_bad_adc(self):
+        with pytest.raises(ValueError):
+            SensorConfig(adc_bits=1)
+
+    def test_rejects_bad_exposure(self):
+        with pytest.raises(ValueError):
+            SensorConfig(exposure=0.0)
+
+
+class TestBayerSensor:
+    def _capture(self, **config_kwargs):
+        config = SensorConfig(resolution=(32, 32), **config_kwargs)
+        sensor = BayerSensor(config)
+        img = ImageBuffer.full(48, 48, 0.5)
+        return sensor.capture(img, np.random.default_rng(0))
+
+    def test_output_shape_and_metadata(self):
+        raw = self._capture()
+        assert raw.mosaic.shape == (32, 32)
+        assert raw.pattern == "RGGB"
+        assert raw.metadata["adc_bits"] == 10
+
+    def test_adc_quantization_levels(self):
+        raw = self._capture(adc_bits=4)
+        levels = np.unique(np.round(raw.mosaic * 15))
+        assert np.allclose(levels, np.round(levels))
+        assert len(np.unique(raw.mosaic)) <= 16
+
+    def test_black_level_pedestal(self):
+        config = SensorConfig(resolution=(32, 32), black_level=0.1)
+        sensor = BayerSensor(config)
+        dark = ImageBuffer.full(48, 48, 0.0)
+        raw = sensor.capture(dark, np.random.default_rng(0))
+        assert raw.mosaic.min() >= 0.09
+
+    def test_channel_sensitivity_shows_in_mosaic(self):
+        config = SensorConfig(
+            resolution=(32, 32),
+            channel_sensitivity=(0.3, 1.0, 0.3),
+            noise=SensorNoiseModel(
+                read_noise=0, dark_current=0, prnu=0, row_noise=0,
+                full_well_electrons=1e12,
+            ),
+        )
+        sensor = BayerSensor(config)
+        raw = sensor.capture(ImageBuffer.full(48, 48, 0.8), np.random.default_rng(0))
+        green = raw.mosaic[raw.channel_mask(1)].mean()
+        red = raw.mosaic[raw.channel_mask(0)].mean()
+        assert green > red * 1.5
+
+    def test_wb_gains_estimated(self):
+        raw = self._capture()
+        assert raw.wb_gains[1] == pytest.approx(1.0)
+        assert raw.wb_gains[0] > 1.0  # red-deficient sensor wants gain > 1
+
+    def test_repeat_shots_differ(self):
+        """The Fig. 1 mechanism: same display, fresh shutter, new noise."""
+        sensor = BayerSensor(SensorConfig(resolution=(32, 32)))
+        img = ImageBuffer.full(48, 48, 0.5)
+        rng = np.random.default_rng(0)
+        a = sensor.capture(img, rng)
+        b = sensor.capture(img, rng)
+        assert not np.array_equal(a.mosaic, b.mosaic)
+        assert np.abs(a.mosaic - b.mosaic).mean() < 0.05

@@ -1,0 +1,105 @@
+"""Cross-package integration tests: the full chain, end to end.
+
+These verify that the composition scene -> screen -> sensor -> ISP ->
+codec -> OS decode -> model behaves as one deterministic system, and
+that the properties the experiments rely on hold across module
+boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codecs import decode_any, decode_dng, get_codec, sniff_format
+from repro.devices import DeviceRuntime, Phone, capture_fleet
+from repro.imaging.metrics import pixel_diff_map, psnr
+from repro.isp import build_isp
+from repro.scenes import Screen, build_dataset
+from repro.nn.preprocess import to_model_input
+
+
+@pytest.fixture(scope="module")
+def radiance():
+    ds = build_dataset(per_class=1, seed=0)
+    return Screen(seed=1).display(ds[0].scene.render(96, 96))
+
+
+class TestFullChainDeterminism:
+    def test_capture_to_prediction_reproducible(self, radiance, tiny_model):
+        """Same seed -> byte-identical file -> identical prediction."""
+        phone = Phone(capture_fleet()[0])
+        runtime = DeviceRuntime(tiny_model)
+        outputs = []
+        for _ in range(2):
+            data = phone.photograph(radiance, np.random.default_rng(123))
+            pred = runtime.predict_one(decode_any(data))
+            outputs.append((data, pred.probabilities))
+        assert outputs[0][0] == outputs[1][0]
+        assert outputs[0][1] == outputs[1][1]
+
+    def test_all_phones_full_path(self, radiance, tiny_model):
+        """Every fleet phone's default path runs end to end."""
+        runtime = DeviceRuntime(tiny_model)
+        for profile in capture_fleet():
+            phone = Phone(profile)
+            data = phone.photograph(radiance, np.random.default_rng(0))
+            assert sniff_format(data) == profile.save_format
+            pred = runtime.predict_one(decode_any(data))
+            assert len(pred.ranking) == 8
+
+
+class TestCrossDeviceDivergenceIsSmallButReal:
+    def test_photos_close_in_pixel_space(self, radiance):
+        """Different phones' photos of the same display are *nearly*
+        identical — the premise of the instability metric."""
+        photos = []
+        for profile in capture_fleet():
+            phone = Phone(profile)
+            data = phone.photograph(radiance, np.random.default_rng(1))
+            photos.append(decode_any(data).pixels)
+        for i in range(1, len(photos)):
+            assert psnr(photos[0], photos[i]) > 15.0
+            assert not np.array_equal(photos[0], photos[i])
+
+    def test_repeat_shot_pixel_difference_is_tiny(self, radiance):
+        """Fig. 1's right panel: repeat shots differ on few pixels."""
+        phone = Phone(capture_fleet()[0])
+        rng = np.random.default_rng(2)
+        a = decode_any(phone.photograph(radiance, rng))
+        b = decode_any(phone.photograph(radiance, rng))
+        stats = pixel_diff_map(a.pixels, b.pixels, threshold=0.05)
+        assert stats.divergent_fraction < 0.10
+
+
+class TestRawPathConsistency:
+    def test_raw_conversion_removes_isp_and_codec_variance(self, radiance):
+        """§9.2's premise: raws from different phones, converted by one
+        ISP, are closer than the phones' own JPEGs."""
+        isp = build_isp("imagemagick")
+        jpeg_photos = []
+        raw_converted = []
+        for profile in (p for p in capture_fleet() if p.supports_raw):
+            phone = Phone(profile)
+            rng = np.random.default_rng(3)
+            raw = phone.capture_raw(radiance, rng)
+            jpeg = get_codec("jpeg").encode(phone.develop(raw), quality=90)
+            jpeg_photos.append(decode_any(jpeg).pixels)
+            raw_converted.append(isp.process(raw).pixels)
+        jpeg_gap = np.abs(jpeg_photos[0] - jpeg_photos[1]).mean()
+        raw_gap = np.abs(raw_converted[0] - raw_converted[1]).mean()
+        assert raw_gap < jpeg_gap
+
+    def test_dng_file_roundtrip_through_phone(self, radiance):
+        phone = Phone(next(p for p in capture_fleet() if p.supports_raw))
+        dng = phone.photograph_raw(radiance, np.random.default_rng(4))
+        raw = decode_dng(dng)
+        developed = build_isp("imagemagick").process(raw)
+        assert developed.shape == (96, 96, 3)
+
+
+class TestModelInputPathUniformity:
+    def test_preprocessing_identical_for_all_sources(self, radiance):
+        """The model-input path must not depend on where pixels came from
+        (the §7 lesson: keep everything outside the test identical)."""
+        a = to_model_input(radiance)
+        b = to_model_input(radiance.copy())
+        assert np.array_equal(a, b)
