@@ -3,11 +3,16 @@
 Usage::
 
     python -m repro end-to-end --per-class 8 --save results.json
+    python -m repro end-to-end --workers 4 --cache-dir .cache/fleet
     python -m repro firebase --format jpeg --photos 100
     python -m repro compression --per-class 10
     python -m repro isp --per-class 10
     python -m repro raw-vs-jpeg --per-class 10
     python -m repro stability --per-class 12 --epochs 6
+
+``--workers N`` fans capture work across N processes and ``--cache-dir``
+reuses captured frames across runs; both are output-neutral — results
+are bit-identical to a serial, uncached run.
 
 Each command trains/loads the shared base model (cached after the first
 run), executes the experiment deterministically, and prints the same
@@ -30,10 +35,22 @@ from .core import (
 from .core.serialize import save_result
 
 
+def _make_cache(args):
+    """Build the shared capture cache when ``--cache-dir`` is given."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        return None
+    from .runner import CaptureCache
+
+    return CaptureCache(cache_dir)
+
+
 def _cmd_end_to_end(args) -> None:
     from .lab import EndToEndExperiment
 
-    result = EndToEndExperiment(seed=args.seed).run(per_class=args.per_class)
+    result = EndToEndExperiment(
+        seed=args.seed, workers=args.workers, cache=_make_cache(args)
+    ).run(per_class=args.per_class)
     print("accuracy by phone:")
     for phone, acc in per_environment_accuracy(result).items():
         print(f"  {phone}: {format_percent(acc)}")
@@ -70,9 +87,12 @@ def _cmd_compression(args) -> None:
         RawCaptureBank,
     )
 
-    bank = RawCaptureBank.collect(per_class=args.per_class, seed=args.seed)
-    quality = CompressionQualityExperiment().run(bank)
-    formats = CompressionFormatExperiment().run(bank)
+    cache = _make_cache(args)
+    bank = RawCaptureBank.collect(
+        per_class=args.per_class, seed=args.seed, workers=args.workers, cache=cache
+    )
+    quality = CompressionQualityExperiment(workers=args.workers, cache=cache).run(bank)
+    formats = CompressionFormatExperiment(workers=args.workers, cache=cache).run(bank)
     for label, out in (("quality", quality), ("formats", formats)):
         accs = out.accuracy_by_environment()
         rows = [
@@ -87,8 +107,11 @@ def _cmd_compression(args) -> None:
 def _cmd_isp(args) -> None:
     from .lab import ISPComparisonExperiment, RawCaptureBank
 
-    bank = RawCaptureBank.collect(per_class=args.per_class, seed=args.seed)
-    out = ISPComparisonExperiment().run(bank)
+    cache = _make_cache(args)
+    bank = RawCaptureBank.collect(
+        per_class=args.per_class, seed=args.seed, workers=args.workers, cache=cache
+    )
+    out = ISPComparisonExperiment(workers=args.workers, cache=cache).run(bank)
     for isp, acc in out.accuracy_by_isp().items():
         print(f"{isp} accuracy: {format_percent(acc)}")
     print(f"instability: {format_percent(out.instability())}")
@@ -97,7 +120,9 @@ def _cmd_isp(args) -> None:
 def _cmd_raw_vs_jpeg(args) -> None:
     from .lab import RawVsJpegExperiment
 
-    out = RawVsJpegExperiment(seed=args.seed).run(per_class=args.per_class)
+    out = RawVsJpegExperiment(
+        seed=args.seed, workers=args.workers, cache=_make_cache(args)
+    ).run(per_class=args.per_class)
     print(f"JPEG-path instability: {format_percent(out.instability_jpeg())}")
     print(f"raw-path instability:  {format_percent(out.instability_raw())}")
     print(f"relative improvement:  {format_percent(out.relative_improvement())}")
@@ -132,6 +157,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--per-class", type=int, default=8, dest="per_class")
         p.add_argument("--save", type=str, default=None, help="save records as JSON")
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help="capture worker processes (0 = serial, -1 = all cores); "
+            "results are bit-identical for every setting",
+        )
+        p.add_argument(
+            "--cache-dir",
+            type=str,
+            default=None,
+            dest="cache_dir",
+            help="content-addressed capture cache directory (reused across runs)",
+        )
 
     p = sub.add_parser("end-to-end", help="the §4 five-phone study")
     common(p)

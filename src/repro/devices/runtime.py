@@ -12,7 +12,7 @@ devices: with identical inputs, every runtime here is bit-deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -45,20 +45,46 @@ class Prediction:
 
 
 class DeviceRuntime:
-    """A deterministic inference engine bound to one model."""
+    """A deterministic inference engine bound to one model.
 
-    def __init__(self, model: Model, numerics: str = "float32") -> None:
+    ``batch_size`` bounds how many frames enter one ``predict_proba``
+    call: large experiment sweeps hand the runtime hundreds of decoded
+    frames at once, and chunking keeps the activation working set
+    cache-resident instead of materializing one enormous tensor. The
+    chunk boundaries depend only on each frame's position in the input
+    sequence, so batching never perturbs results between serial and
+    parallel experiment runs (which assemble identical frame orders).
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        numerics: str = "float32",
+        batch_size: Optional[int] = None,
+    ) -> None:
         if numerics not in ("float32", "float16"):
             raise ValueError(f"unknown numerics mode {numerics!r}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive")
         self.model = model
         self.numerics = numerics
+        self.batch_size = batch_size
 
     def predict(self, images: Sequence[ImageBuffer] | ImageBuffer) -> List[Prediction]:
-        """Run inference on decoded image(s)."""
+        """Run inference on decoded image(s), in deterministic batches."""
         x = to_model_input(images)
         if self.numerics == "float16":
             x = x.astype(np.float16).astype(np.float32)
-        proba = self.model.predict_proba(x)
+        if self.batch_size is None or len(x) <= self.batch_size:
+            proba = self.model.predict_proba(x)
+        else:
+            proba = np.concatenate(
+                [
+                    self.model.predict_proba(x[start : start + self.batch_size])
+                    for start in range(0, len(x), self.batch_size)
+                ],
+                axis=0,
+            )
         results = []
         for row in proba:
             ranking = tuple(int(i) for i in np.argsort(-row))

@@ -17,6 +17,15 @@ Fig. 1 repeat shots               :func:`repeat_shot_demo`
 All experiments share one fixed-weight model (the paper's pretrained
 MobileNetV2 analogue) through :func:`repro.lab.common.resolve_model`, and
 are deterministic given their seed.
+
+Every experiment class runs its capture work through the
+:mod:`repro.runner` fleet executor: pass ``workers=N`` to fan the
+(scene, angle, device) units across a process pool and/or ``cache=`` a
+:class:`~repro.runner.cache.CaptureCache` to skip redundant
+render/capture work across repeated runs and ablation sweeps. Per-unit
+seed derivation (:func:`repro.runner.seeds.unit_entropy`) makes the
+output bit-identical for every worker count — the invariant
+``tests/runner/test_determinism.py`` enforces.
 """
 
 from __future__ import annotations
@@ -26,10 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from zlib import crc32
-
-from ..codecs.dng import decode_dng
-from ..codecs.registry import decode_any, get_codec
+from ..codecs.registry import decode_any
 from ..core.instability import accuracy, instability, per_class_instability
 from ..core.records import ExperimentResult
 from ..devices.phone import Phone
@@ -37,12 +43,18 @@ from ..devices.profiles import DeviceProfile, capture_fleet
 from ..devices.runtime import DeviceRuntime
 from ..imaging.image import ImageBuffer, RawImage
 from ..imaging.metrics import PixelDiffStats, pixel_diff_map
-from ..isp.profiles import build_isp
 from ..nn.model import Model
+from ..runner.cache import CaptureCache
+from ..runner.executor import FleetExecutor
+from ..runner.seeds import derive_rng, unit_entropy
+from ..runner.units import CaptureUnit, payload_to_raw, raw_to_payload
 from ..scenes.dataset import build_dataset
 from ..scenes.screen import Screen
 from .common import make_record, resolve_model, scaled_mb
 from .rig import DEFAULT_ANGLES, CaptureRig, DisplayedImage
+
+#: Inference chunk size for experiment sweeps (see DeviceRuntime).
+INFERENCE_BATCH = 64
 
 __all__ = [
     "EndToEndExperiment",
@@ -75,37 +87,61 @@ class EndToEndExperiment:
         angles: Sequence[float] = DEFAULT_ANGLES,
         repeats: int = 1,
         seed: int = 0,
+        workers: int = 0,
+        cache: Optional[CaptureCache] = None,
+        executor: Optional[FleetExecutor] = None,
     ) -> None:
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
         self.profiles = list(phones) if phones is not None else capture_fleet()
-        self.phones = [Phone(p) for p in self.profiles]
-        self.runtime = DeviceRuntime(resolve_model(model))
+        self.runtime = DeviceRuntime(resolve_model(model), batch_size=INFERENCE_BATCH)
         self.angles = tuple(angles)
         self.repeats = repeats
         self.seed = seed
+        self.cache = cache
+        self.executor = executor or FleetExecutor(workers=workers, cache=cache)
 
     def run(self, per_class: int = 8, scenes_per_object: int = 1) -> ExperimentResult:
         dataset = build_dataset(
             per_class=per_class, scenes_per_object=scenes_per_object, seed=self.seed
         )
-        rig = CaptureRig(screen=Screen(seed=self.seed), angles=self.angles)
+        rig = CaptureRig(
+            screen=Screen(seed=self.seed), angles=self.angles, cache=self.cache
+        )
         displayed = rig.present(list(dataset))
-        result = ExperimentResult([], name="end_to_end")
 
-        for phone in self.phones:
-            rng = np.random.default_rng((self.seed, crc32(phone.name.encode())))
-            images: List[ImageBuffer] = []
-            meta: List[Tuple[DisplayedImage, int]] = []
+        units: List[CaptureUnit] = []
+        meta: List[Tuple[DisplayedImage, int]] = []
+        for profile in self.profiles:
             for shown in displayed:
                 for repeat in range(self.repeats):
-                    data = phone.photograph(shown.radiance, rng)
-                    images.append(decode_any(data))
+                    units.append(
+                        CaptureUnit(
+                            kind="photograph",
+                            profile=profile,
+                            radiance=shown.radiance.pixels,
+                            entropy=unit_entropy(
+                                self.seed, profile.name, shown.image_id, repeat
+                            ),
+                        )
+                    )
                     meta.append((shown, repeat))
+        payloads = self.executor.run(units)
+
+        result = ExperimentResult([], name="end_to_end")
+        per_phone = len(displayed) * self.repeats
+        for p, profile in enumerate(self.profiles):
+            start = p * per_phone
+            images = [
+                ImageBuffer(payload["pixels"])
+                for payload in payloads[start : start + per_phone]
+            ]
             predictions = self.runtime.predict(images)
             result.extend(
-                make_record(pred, shown, environment=phone.name, repeat=repeat)
-                for pred, (shown, repeat) in zip(predictions, meta)
+                make_record(pred, shown, environment=profile.name, repeat=repeat)
+                for pred, (shown, repeat) in zip(
+                    predictions, meta[start : start + per_phone]
+                )
             )
         return result
 
@@ -134,6 +170,9 @@ class RawCaptureBank:
         angles: Sequence[float] = (0.0,),
         seed: int = 0,
         phones: Optional[Sequence[DeviceProfile]] = None,
+        workers: int = 0,
+        cache: Optional[CaptureCache] = None,
+        executor: Optional[FleetExecutor] = None,
     ) -> "RawCaptureBank":
         profiles = list(phones) if phones is not None else [
             p for p in capture_fleet() if p.supports_raw
@@ -141,19 +180,26 @@ class RawCaptureBank:
         if not profiles:
             raise ValueError("no raw-capable phones supplied")
         dataset = build_dataset(per_class=per_class, seed=seed)
-        rig = CaptureRig(screen=Screen(seed=seed), angles=angles)
+        rig = CaptureRig(screen=Screen(seed=seed), angles=angles, cache=cache)
         displayed = rig.present(list(dataset))
 
-        raws: List[RawImage] = []
+        units: List[CaptureUnit] = []
         shown_out: List[DisplayedImage] = []
         names: List[str] = []
         for profile in profiles:
-            phone = Phone(profile)
-            rng = np.random.default_rng((seed, crc32(profile.name.encode())))
             for shown in displayed:
-                raws.append(phone.capture_raw(shown.radiance, rng))
+                units.append(
+                    CaptureUnit(
+                        kind="raw",
+                        profile=profile,
+                        radiance=shown.radiance.pixels,
+                        entropy=unit_entropy(seed, profile.name, shown.image_id),
+                    )
+                )
                 shown_out.append(shown)
                 names.append(profile.name)
+        runner = executor or FleetExecutor(workers=workers, cache=cache)
+        raws = [payload_to_raw(payload) for payload in runner.run(units)]
         return cls(raws=raws, displayed=shown_out, phone_names=names)
 
     def __len__(self) -> int:
@@ -195,20 +241,39 @@ class CompressionQualityExperiment:
 
     QUALITIES = (100, 85, 50)
 
-    def __init__(self, model: Optional[Model] = None, isp: str = "imagemagick") -> None:
-        self.runtime = DeviceRuntime(resolve_model(model))
-        self.isp = build_isp(isp)
+    def __init__(
+        self,
+        model: Optional[Model] = None,
+        isp: str = "imagemagick",
+        workers: int = 0,
+        cache: Optional[CaptureCache] = None,
+        executor: Optional[FleetExecutor] = None,
+    ) -> None:
+        self.runtime = DeviceRuntime(resolve_model(model), batch_size=INFERENCE_BATCH)
+        self.isp_name = isp
+        self.executor = executor or FleetExecutor(workers=workers, cache=cache)
 
     def run(self, bank: RawCaptureBank) -> CompressionResult:
-        jpeg = get_codec("jpeg")
-        developed = [self.isp.process(raw) for raw in bank.raws]
+        raw_payloads = [raw_to_payload(raw) for raw in bank.raws]
+        units = [
+            CaptureUnit(
+                kind="develop",
+                raw=payload,
+                options={"isp": self.isp_name, "codec": "jpeg", "quality": quality},
+            )
+            for quality in self.QUALITIES
+            for payload in raw_payloads
+        ]
+        outputs = self.executor.run(units)
+
         result = ExperimentResult([], name="jpeg_quality")
-        sizes: Dict[str, List[int]] = {f"jpeg-q{q}": [] for q in self.QUALITIES}
-        for quality in self.QUALITIES:
+        sizes: Dict[str, List[int]] = {}
+        per_quality = len(raw_payloads)
+        for q, quality in enumerate(self.QUALITIES):
             env = f"jpeg-q{quality}"
-            encoded = [jpeg.encode(img, quality=quality) for img in developed]
-            sizes[env] = [len(e) for e in encoded]
-            images = [jpeg.decode(e) for e in encoded]
+            chunk = outputs[q * per_quality : (q + 1) * per_quality]
+            sizes[env] = [int(payload["encoded_size"]) for payload in chunk]
+            images = [ImageBuffer(payload["pixels"]) for payload in chunk]
             predictions = self.runtime.predict(images)
             result.extend(
                 make_record(pred, shown, environment=env, image_id=i)
@@ -228,25 +293,40 @@ class CompressionFormatExperiment:
 
     FORMATS = ("jpeg", "png", "webp", "heif")
 
-    def __init__(self, model: Optional[Model] = None, isp: str = "imagemagick") -> None:
-        self.runtime = DeviceRuntime(resolve_model(model))
-        self.isp = build_isp(isp)
+    def __init__(
+        self,
+        model: Optional[Model] = None,
+        isp: str = "imagemagick",
+        workers: int = 0,
+        cache: Optional[CaptureCache] = None,
+        executor: Optional[FleetExecutor] = None,
+    ) -> None:
+        self.runtime = DeviceRuntime(resolve_model(model), batch_size=INFERENCE_BATCH)
+        self.isp_name = isp
+        self.executor = executor or FleetExecutor(workers=workers, cache=cache)
 
     def run(self, bank: RawCaptureBank) -> CompressionResult:
-        developed = [self.isp.process(raw) for raw in bank.raws]
+        raw_payloads = [raw_to_payload(raw) for raw in bank.raws]
+        units = [
+            CaptureUnit(
+                kind="develop",
+                raw=payload,
+                options={"isp": self.isp_name, "codec": fmt},
+            )
+            for fmt in self.FORMATS
+            for payload in raw_payloads
+        ]
+        outputs = self.executor.run(units)
+
         result = ExperimentResult([], name="formats")
         avg_sizes: Dict[str, float] = {}
-        for fmt in self.FORMATS:
-            codec = get_codec(fmt)
-            if codec.default_quality is None:
-                encoded = [codec.encode(img) for img in developed]
-            else:
-                encoded = [
-                    codec.encode(img, quality=codec.default_quality)
-                    for img in developed
-                ]
-            avg_sizes[fmt] = float(np.mean([len(e) for e in encoded]))
-            images = [codec.decode(e) for e in encoded]
+        per_format = len(raw_payloads)
+        for f, fmt in enumerate(self.FORMATS):
+            chunk = outputs[f * per_format : (f + 1) * per_format]
+            avg_sizes[fmt] = float(
+                np.mean([int(payload["encoded_size"]) for payload in chunk])
+            )
+            images = [ImageBuffer(payload["pixels"]) for payload in chunk]
             predictions = self.runtime.predict(images)
             result.extend(
                 make_record(pred, shown, environment=fmt, image_id=i)
@@ -284,17 +364,30 @@ class ISPComparisonExperiment:
         self,
         model: Optional[Model] = None,
         isps: Sequence[str] = ("imagemagick", "adobe"),
+        workers: int = 0,
+        cache: Optional[CaptureCache] = None,
+        executor: Optional[FleetExecutor] = None,
     ) -> None:
         if len(isps) < 2:
             raise ValueError("need at least two ISPs to compare")
-        self.runtime = DeviceRuntime(resolve_model(model))
+        self.runtime = DeviceRuntime(resolve_model(model), batch_size=INFERENCE_BATCH)
         self.isp_names = tuple(isps)
+        self.executor = executor or FleetExecutor(workers=workers, cache=cache)
 
     def run(self, bank: RawCaptureBank) -> ISPComparisonOutcome:
+        raw_payloads = [raw_to_payload(raw) for raw in bank.raws]
+        units = [
+            CaptureUnit(kind="develop", raw=payload, options={"isp": name})
+            for name in self.isp_names
+            for payload in raw_payloads
+        ]
+        outputs = self.executor.run(units)
+
         result = ExperimentResult([], name="isp_comparison")
-        for name in self.isp_names:
-            pipeline = build_isp(name)
-            images = [pipeline.process(raw) for raw in bank.raws]
+        per_isp = len(raw_payloads)
+        for n, name in enumerate(self.isp_names):
+            chunk = outputs[n * per_isp : (n + 1) * per_isp]
+            images = [ImageBuffer(payload["pixels"]) for payload in chunk]
             predictions = self.runtime.predict(images)
             result.extend(
                 make_record(pred, shown, environment=name, image_id=i)
@@ -351,40 +444,58 @@ class RawVsJpegExperiment:
     count). Only the two raw-capable phones participate, as in the paper.
     """
 
-    def __init__(self, model: Optional[Model] = None, seed: int = 0) -> None:
-        self.runtime = DeviceRuntime(resolve_model(model))
+    def __init__(
+        self,
+        model: Optional[Model] = None,
+        seed: int = 0,
+        workers: int = 0,
+        cache: Optional[CaptureCache] = None,
+        executor: Optional[FleetExecutor] = None,
+    ) -> None:
+        self.runtime = DeviceRuntime(resolve_model(model), batch_size=INFERENCE_BATCH)
         self.seed = seed
-        self.conversion_isp = build_isp("imagemagick")
+        self.conversion_isp_name = "imagemagick"
+        self.cache = cache
+        self.executor = executor or FleetExecutor(workers=workers, cache=cache)
 
     def run(
         self, per_class: int = 8, angles: Sequence[float] = (0.0,)
     ) -> RawVsJpegOutcome:
         profiles = [p for p in capture_fleet() if p.supports_raw]
         dataset = build_dataset(per_class=per_class, seed=self.seed)
-        rig = CaptureRig(screen=Screen(seed=self.seed), angles=angles)
+        rig = CaptureRig(
+            screen=Screen(seed=self.seed), angles=angles, cache=self.cache
+        )
         displayed = rig.present(list(dataset))
+
+        # One unit per exposure; each unit develops both arms from the
+        # *same* raw frame, the §9.2 controlled comparison.
+        units = [
+            CaptureUnit(
+                kind="raw_vs_jpeg",
+                profile=profile,
+                radiance=shown.radiance.pixels,
+                entropy=unit_entropy(self.seed, profile.name, shown.image_id),
+                options={
+                    "conversion_isp": self.conversion_isp_name,
+                    "quality": profile.save_quality,
+                },
+            )
+            for profile in profiles
+            for shown in displayed
+        ]
+        payloads = self.executor.run(units)
 
         jpeg_result = ExperimentResult([], name="raw_vs_jpeg/jpeg")
         raw_result = ExperimentResult([], name="raw_vs_jpeg/raw")
-        for profile in profiles:
-            phone = Phone(profile)
-            rng = np.random.default_rng((self.seed, crc32(profile.name.encode())))
-            jpeg_images: List[ImageBuffer] = []
-            raw_images: List[ImageBuffer] = []
-            for shown in displayed:
-                raw = phone.capture_raw(shown.radiance, rng)
-                # JPEG arm: vendor ISP + JPEG file, the phone's normal path.
-                developed = phone.develop(raw)
-                data = get_codec("jpeg").encode(
-                    developed, quality=profile.save_quality
-                )
-                jpeg_images.append(decode_any(data))
-                # Raw arm: the *same* exposure converted consistently.
-                raw_images.append(self.conversion_isp.process(raw))
-            for images, result in (
-                (jpeg_images, jpeg_result),
-                (raw_images, raw_result),
+        per_phone = len(displayed)
+        for p, profile in enumerate(profiles):
+            chunk = payloads[p * per_phone : (p + 1) * per_phone]
+            for arm, result in (
+                ("jpeg_pixels", jpeg_result),
+                ("raw_pixels", raw_result),
             ):
+                images = [ImageBuffer(payload[arm]) for payload in chunk]
                 predictions = self.runtime.predict(images)
                 result.extend(
                     make_record(pred, shown, environment=profile.name)
@@ -450,7 +561,7 @@ def repeat_shot_demo(
     runtime = DeviceRuntime(resolve_model(model))
     dataset = build_dataset(per_class=max(1, max_scenes // 5), seed=seed)
     rig = CaptureRig(screen=Screen(seed=seed), angles=(0.0,))
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed, profile.name, "repeat_shot")
 
     outcome = None
     for shown in rig.present(list(dataset))[:max_scenes]:

@@ -19,19 +19,20 @@ varies.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, Sequence
-from zlib import crc32
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..codecs.registry import decode_any
 from ..core.records import ExperimentResult
-from ..devices.phone import Phone
 from ..devices.profiles import DeviceProfile, capture_fleet
 from ..devices.runtime import DeviceRuntime
+from ..imaging.image import ImageBuffer
 from ..nn.model import Model
+from ..runner.cache import CaptureCache
+from ..runner.executor import FleetExecutor
+from ..runner.seeds import unit_entropy
+from ..runner.units import CaptureUnit
 from ..scenes.dataset import build_dataset
-from ..scenes.scene import Scene
 from ..scenes.screen import Screen
 from .common import make_record, resolve_model
 from .rig import CaptureRig
@@ -54,28 +55,46 @@ class LightingVariationExperiment:
         phone: Optional[DeviceProfile] = None,
         model: Optional[Model] = None,
         seed: int = 0,
+        workers: int = 0,
+        cache: Optional[CaptureCache] = None,
+        executor: Optional[FleetExecutor] = None,
     ) -> None:
         self.profile = phone or capture_fleet()[0]
         self.runtime = DeviceRuntime(resolve_model(model))
         self.seed = seed
+        self.cache = cache
+        self.executor = executor or FleetExecutor(workers=workers, cache=cache)
 
     def run(self, per_class: int = 8) -> ExperimentResult:
         dataset = build_dataset(per_class=per_class, seed=self.seed)
         screen = Screen(seed=self.seed)
-        phone = Phone(self.profile)
-        result = ExperimentResult([], name="lighting_variation")
+        units: List[CaptureUnit] = []
+        shown_by_condition = []
         for label, brightness, warmth in self.CONDITIONS:
-            rng = np.random.default_rng((self.seed, crc32(label.encode())))
             relit = [
                 replace(item, scene=replace(item.scene, brightness=brightness, warmth=warmth))
                 for item in dataset
             ]
-            rig = CaptureRig(screen=screen, angles=(0.0,))
+            rig = CaptureRig(screen=screen, angles=(0.0,), cache=self.cache)
             displayed = rig.present(relit)
-            images = [
-                decode_any(phone.photograph(shown.radiance, rng))
+            shown_by_condition.append(displayed)
+            units.extend(
+                CaptureUnit(
+                    kind="photograph",
+                    profile=self.profile,
+                    radiance=shown.radiance.pixels,
+                    entropy=unit_entropy(self.seed, label, shown.image_id),
+                )
                 for shown in displayed
-            ]
+            )
+        payloads = self.executor.run(units)
+
+        result = ExperimentResult([], name="lighting_variation")
+        start = 0
+        for (label, _, _), displayed in zip(self.CONDITIONS, shown_by_condition):
+            chunk = payloads[start : start + len(displayed)]
+            start += len(displayed)
+            images = [ImageBuffer(payload["pixels"]) for payload in chunk]
             predictions = self.runtime.predict(images)
             result.extend(
                 make_record(pred, shown, environment=label, image_id=i)
@@ -101,6 +120,9 @@ class LensVariationExperiment:
         blur_tolerance: float = 0.15,
         vignette_tolerance: float = 0.03,
         seed: int = 0,
+        workers: int = 0,
+        cache: Optional[CaptureCache] = None,
+        executor: Optional[FleetExecutor] = None,
     ) -> None:
         if units < 2:
             raise ValueError("need at least two units to compare")
@@ -110,6 +132,8 @@ class LensVariationExperiment:
         self.blur_tolerance = blur_tolerance
         self.vignette_tolerance = vignette_tolerance
         self.seed = seed
+        self.cache = cache
+        self.executor = executor or FleetExecutor(workers=workers, cache=cache)
 
     def _unit_profiles(self) -> Sequence[DeviceProfile]:
         rng = np.random.default_rng(self.seed + 77)
@@ -141,16 +165,28 @@ class LensVariationExperiment:
 
     def run(self, per_class: int = 8) -> ExperimentResult:
         dataset = build_dataset(per_class=per_class, seed=self.seed)
-        rig = CaptureRig(screen=Screen(seed=self.seed), angles=(0.0,))
+        rig = CaptureRig(
+            screen=Screen(seed=self.seed), angles=(0.0,), cache=self.cache
+        )
         displayed = rig.present(list(dataset))
+        profiles = list(self._unit_profiles())
+        work = [
+            CaptureUnit(
+                kind="photograph",
+                profile=profile,
+                radiance=shown.radiance.pixels,
+                entropy=unit_entropy(self.seed, profile.name, shown.image_id),
+            )
+            for profile in profiles
+            for shown in displayed
+        ]
+        payloads = self.executor.run(work)
+
         result = ExperimentResult([], name="lens_variation")
-        for profile in self._unit_profiles():
-            phone = Phone(profile)
-            rng = np.random.default_rng((self.seed, crc32(profile.name.encode())))
-            images = [
-                decode_any(phone.photograph(shown.radiance, rng))
-                for shown in displayed
-            ]
+        per_unit = len(displayed)
+        for p, profile in enumerate(profiles):
+            chunk = payloads[p * per_unit : (p + 1) * per_unit]
+            images = [ImageBuffer(payload["pixels"]) for payload in chunk]
             predictions = self.runtime.predict(images)
             result.extend(
                 make_record(pred, shown, environment=profile.name)

@@ -12,10 +12,11 @@ the experimental-control property the paper's physical rig was built for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..imaging.image import ImageBuffer
 from ..imaging.ops import perspective_shift
+from ..runner.cache import CaptureCache, fingerprint
 from ..scenes.dataset import LabeledScene
 from ..scenes.screen import Screen
 
@@ -50,13 +51,40 @@ class CaptureRig:
         screen: Screen | None = None,
         angles: Sequence[float] = DEFAULT_ANGLES,
         render_size: int = 96,
+        cache: Optional[CaptureCache] = None,
     ) -> None:
         if not angles:
             raise ValueError("rig needs at least one angle")
         self.screen = screen or Screen()
         self.angles = tuple(float(a) for a in angles)
         self.render_size = render_size
+        #: Shared content-addressed cache (persists radiance across runs
+        #: and processes); the id-keyed dict below is the per-instance
+        #: fast path for repeated presentations within one run.
+        self.cache = cache
         self._radiance_cache: Dict[int, ImageBuffer] = {}
+
+    def _render_base(self, item: LabeledScene) -> ImageBuffer:
+        """Render + display one scene, through the shared cache if any."""
+        if self.cache is None:
+            rendered = item.scene.render(self.render_size, self.render_size)
+            return self.screen.display(rendered)
+        key = fingerprint(
+            (
+                "radiance-v1",
+                item.scene,
+                self.screen.profile,
+                self.screen.seed,
+                self.render_size,
+            )
+        )
+        payload = self.cache.get(key)
+        if payload is not None:
+            return ImageBuffer(payload["pixels"])
+        rendered = item.scene.render(self.render_size, self.render_size)
+        base = self.screen.display(rendered)
+        self.cache.put(key, {"pixels": base.pixels})
+        return base
 
     def present(self, items: Sequence[LabeledScene]) -> List[DisplayedImage]:
         """Display every scene at every angle; returns all presentations.
@@ -71,8 +99,7 @@ class CaptureRig:
             key = id(item)
             base = self._radiance_cache.get(key)
             if base is None:
-                rendered = item.scene.render(self.render_size, self.render_size)
-                base = self.screen.display(rendered)
+                base = self._render_base(item)
                 self._radiance_cache[key] = base
             for angle in self.angles:
                 if angle == 0.0:

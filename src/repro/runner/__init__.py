@@ -1,0 +1,43 @@
+"""Fleet execution: deterministic parallel capture with content caching.
+
+The paper's end-to-end study (§4) runs every (scene, angle, device)
+triple through render -> sensor -> ISP -> codec -> model. This package
+turns that nested loop into a fleet of independent *work units* that can
+be executed serially or fanned out across a process pool, with results
+guaranteed bit-identical either way:
+
+* :mod:`~repro.runner.seeds` derives an independent RNG per work unit
+  from ``(master_seed, device, image, repeat)``, so no unit's noise
+  stream depends on execution order or worker assignment;
+* :mod:`~repro.runner.units` defines the picklable
+  :class:`~repro.runner.units.CaptureUnit` payloads and the pure worker
+  function that executes one unit;
+* :mod:`~repro.runner.cache` is a content-addressed in-memory + on-disk
+  cache keyed by a canonical fingerprint of everything that determines a
+  unit's output (scene pixels, device profile, seed, options), letting
+  repeated experiments and ablation sweeps skip redundant capture work;
+* :mod:`~repro.runner.executor` schedules units over
+  ``concurrent.futures`` with a serial fallback and cache short-circuit.
+
+The determinism contract — parallel output equals serial output
+bit-for-bit for every experiment — is enforced by
+``tests/runner/test_determinism.py``.
+"""
+
+from .cache import CacheStats, CaptureCache, fingerprint
+from .executor import FleetExecutor
+from .seeds import derive_rng, unit_entropy
+from .units import CaptureUnit, execute_unit, payload_to_raw, raw_to_payload
+
+__all__ = [
+    "CacheStats",
+    "CaptureCache",
+    "CaptureUnit",
+    "FleetExecutor",
+    "derive_rng",
+    "execute_unit",
+    "fingerprint",
+    "payload_to_raw",
+    "raw_to_payload",
+    "unit_entropy",
+]

@@ -1,0 +1,212 @@
+"""Content-addressed capture cache: in-memory LRU plus on-disk ``.npz``.
+
+Keys are SHA-256 fingerprints of a canonical byte encoding of everything
+that determines a payload — scene/radiance pixels, device profile
+dataclasses, seed entropy, ISP/codec options — so two units that would
+produce the same bytes share one cache slot regardless of which
+experiment (or which process) asked first. Values are flat
+``{name: ndarray}`` payloads, which covers every artifact the fleet
+executor moves around (decoded pixels, raw mosaics, scalar sizes,
+JSON-encoded metadata strings).
+
+The disk layer shards by key prefix (``ab/abcdef....npz``) and writes
+atomically (temp file + ``os.replace``), so concurrent runs sharing a
+``--cache-dir`` never observe torn files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import tempfile
+import zipfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+__all__ = ["fingerprint", "CacheStats", "CaptureCache"]
+
+Payload = Dict[str, np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# Canonical fingerprinting
+# ----------------------------------------------------------------------
+def _feed(hasher, obj) -> None:
+    """Feed one object's canonical encoding into ``hasher``.
+
+    Every branch writes a type tag before its content so that, e.g.,
+    the string ``"1"`` and the integer ``1`` can never collide.
+    """
+    if obj is None:
+        hasher.update(b"N")
+    elif isinstance(obj, (bool, np.bool_)):
+        hasher.update(b"B" + (b"1" if obj else b"0"))
+    elif isinstance(obj, (int, np.integer)):
+        hasher.update(b"I" + repr(int(obj)).encode())
+    elif isinstance(obj, (float, np.floating)):
+        hasher.update(b"F" + repr(float(obj)).encode())
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        hasher.update(b"S" + repr(len(data)).encode() + b":" + data)
+    elif isinstance(obj, bytes):
+        hasher.update(b"Y" + repr(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        hasher.update(
+            b"A" + arr.dtype.str.encode() + repr(arr.shape).encode() + arr.tobytes()
+        )
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        hasher.update(b"D" + type(obj).__qualname__.encode())
+        for f in dataclasses.fields(obj):
+            _feed(hasher, f.name)
+            _feed(hasher, getattr(obj, f.name))
+    elif isinstance(obj, dict):
+        hasher.update(b"M" + repr(len(obj)).encode())
+        for key in sorted(obj, key=repr):
+            _feed(hasher, key)
+            _feed(hasher, obj[key])
+    elif isinstance(obj, (list, tuple)):
+        hasher.update(b"L" + repr(len(obj)).encode())
+        for item in obj:
+            _feed(hasher, item)
+    elif callable(obj):
+        hasher.update(
+            b"C"
+            + getattr(obj, "__module__", "?").encode()
+            + b"."
+            + getattr(obj, "__qualname__", repr(obj)).encode()
+        )
+    else:
+        raise TypeError(f"cannot fingerprint object of type {type(obj).__name__!r}")
+
+
+def fingerprint(obj) -> str:
+    """SHA-256 hex digest of ``obj``'s canonical encoding."""
+    hasher = hashlib.sha256()
+    _feed(hasher, obj)
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters, observable by tests and benchmarks."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = 0
+
+
+class CaptureCache:
+    """Two-level content-addressed store for fleet artifacts.
+
+    Parameters
+    ----------
+    cache_dir:
+        Optional directory for the persistent layer; created on demand.
+        ``None`` keeps the cache purely in-memory.
+    max_memory_items:
+        LRU bound on the in-memory layer. Payloads are ~100 KiB each at
+        the working 96x96 resolution, so the default bounds memory at
+        a few hundred MiB.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        max_memory_items: int = 2048,
+    ) -> None:
+        if max_memory_items < 1:
+            raise ValueError("max_memory_items must be positive")
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if (
+            self.cache_dir is not None
+            and self.cache_dir.exists()
+            and not self.cache_dir.is_dir()
+        ):
+            raise ValueError(
+                f"cache_dir {self.cache_dir} exists and is not a directory"
+            )
+        self.max_memory_items = max_memory_items
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, Payload]" = OrderedDict()
+
+    # -- internals ------------------------------------------------------
+    def _disk_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / key[:2] / f"{key}.npz"
+
+    @staticmethod
+    def _copy(payload: Payload) -> Payload:
+        return {name: np.array(value, copy=True) for name, value in payload.items()}
+
+    def _remember(self, key: str, payload: Payload) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_items:
+            self._memory.popitem(last=False)
+
+    # -- public API -----------------------------------------------------
+    def get(self, key: str) -> Optional[Payload]:
+        """Fetch a payload copy, or ``None`` on a miss."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return self._copy(cached)
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            if path.exists():
+                try:
+                    with np.load(path, allow_pickle=False) as data:
+                        payload = {name: data[name] for name in data.files}
+                except (OSError, ValueError, zipfile.BadZipFile):
+                    # A torn or stale file is a miss, never an error.
+                    self.stats.misses += 1
+                    return None
+                self._remember(key, payload)
+                self.stats.hits += 1
+                return self._copy(payload)
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, payload: Payload) -> None:
+        """Store a payload under ``key`` in both layers."""
+        normalized = {name: np.asarray(value) for name, value in payload.items()}
+        self._remember(key, self._copy(normalized))
+        self.stats.stores += 1
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".npz"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez_compressed(fh, **normalized)
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.cache_dir is not None and self._disk_path(key).exists()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (the disk layer is untouched)."""
+        self._memory.clear()

@@ -1,0 +1,112 @@
+"""The fleet executor: cache short-circuit, pool fan-out, serial fallback.
+
+``FleetExecutor.run(units)`` resolves every unit through three stages:
+
+1. **Cache probe** — each unit's content-addressed key is looked up in
+   the attached :class:`~repro.runner.cache.CaptureCache`; hits skip
+   execution entirely.
+2. **Execution** — misses run through
+   :func:`~repro.runner.units.execute_unit`, either in-process
+   (``workers <= 1``, the serial fallback — zero new dependencies, zero
+   pickling) or across a ``ProcessPoolExecutor``.
+3. **Reassembly** — results return in input order, and fresh results
+   are written back to the cache.
+
+Because every unit owns its RNG (see :mod:`repro.runner.seeds`) and
+``execute_unit`` is pure, stage 2's scheduling cannot influence any
+output bit — the property ``tests/runner/test_determinism.py`` locks in.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .cache import CaptureCache
+from .units import CaptureUnit, execute_unit, unit_cache_key
+
+__all__ = ["FleetExecutor", "resolve_workers"]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker request: ``None``/0/1 -> serial, -1 -> all cores."""
+    if workers is None:
+        return 0
+    if workers < 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the imported library); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class FleetExecutor:
+    """Runs capture units with optional parallelism and caching.
+
+    Parameters
+    ----------
+    workers:
+        Process count. ``0``/``1``/``None`` use the serial in-process
+        path; ``-1`` uses every core. Results are bit-identical across
+        all settings.
+    cache:
+        Optional :class:`CaptureCache` consulted before execution and
+        populated after.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 0,
+        cache: Optional[CaptureCache] = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+
+    def run(self, units: Sequence[CaptureUnit]) -> List[Dict[str, np.ndarray]]:
+        """Execute every unit; returns payloads in input order."""
+        units = list(units)
+        results: List[Optional[Dict[str, np.ndarray]]] = [None] * len(units)
+
+        if self.cache is not None:
+            keys = [unit_cache_key(unit) for unit in units]
+            pending = []
+            for i, key in enumerate(keys):
+                payload = self.cache.get(key)
+                if payload is not None:
+                    results[i] = payload
+                else:
+                    pending.append(i)
+        else:
+            keys = []
+            pending = list(range(len(units)))
+
+        if pending:
+            fresh = self._execute([units[i] for i in pending])
+            for i, payload in zip(pending, fresh):
+                results[i] = payload
+                if self.cache is not None:
+                    self.cache.put(keys[i], payload)
+
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, units: List[CaptureUnit]
+    ) -> List[Dict[str, np.ndarray]]:
+        if self.workers <= 1 or len(units) <= 1:
+            return [execute_unit(unit) for unit in units]
+        max_workers = min(self.workers, len(units))
+        # Chunk generously: units are ~ms-scale, so per-task IPC overhead
+        # would otherwise dominate.
+        chunksize = max(1, len(units) // (max_workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=_pool_context()
+        ) as pool:
+            return list(pool.map(execute_unit, units, chunksize=chunksize))

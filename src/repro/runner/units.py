@@ -1,0 +1,222 @@
+"""Picklable fleet work units and the pure worker that executes them.
+
+A :class:`CaptureUnit` is one independent slice of an experiment — one
+device photographing one displayed radiance field, or one raw frame
+being developed through one ISP/codec treatment. Units carry plain
+arrays and dataclasses only, so they cross process boundaries cheaply,
+and :func:`execute_unit` is a pure function of the unit (all randomness
+comes from the unit's own seed entropy), which is what makes parallel
+execution bit-identical to serial.
+
+Unit kinds
+----------
+``photograph``
+    Full default camera path: sensor -> vendor ISP -> codec -> OS-side
+    decode. Returns the decoded pixels and the encoded file size.
+``raw``
+    Sensor exposure only; returns the Bayer mosaic plus calibration
+    metadata (the §5/§6 raw-capture-bank corpus).
+``raw_vs_jpeg``
+    One exposure, two arms (§9.2): the phone's own ISP + JPEG file, and
+    the same raw developed by a consistent conversion ISP.
+``develop``
+    No camera: an existing raw frame through a named software ISP,
+    optionally round-tripped through a codec (§5 tables, §6 ISPs).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..codecs.registry import decode_any, get_codec
+from ..devices.phone import Phone
+from ..devices.profiles import DeviceProfile
+from ..imaging.image import ImageBuffer, RawImage
+from ..isp.profiles import build_isp
+from .cache import fingerprint
+from .seeds import unit_entropy  # noqa: F401  (re-exported convenience)
+
+__all__ = [
+    "CaptureUnit",
+    "execute_unit",
+    "unit_cache_key",
+    "raw_to_payload",
+    "payload_to_raw",
+]
+
+UNIT_KINDS = ("photograph", "raw", "raw_vs_jpeg", "develop")
+
+#: Cache-format version; bump when execute_unit's output changes shape.
+_CACHE_VERSION = "unit-v1"
+
+
+# ----------------------------------------------------------------------
+# RawImage <-> flat array payload (cache/IPC friendly)
+# ----------------------------------------------------------------------
+def raw_to_payload(raw: RawImage, prefix: str = "") -> Dict[str, np.ndarray]:
+    """Flatten a :class:`RawImage` into a ``{name: ndarray}`` payload."""
+    return {
+        f"{prefix}mosaic": raw.mosaic,
+        f"{prefix}pattern": np.array(raw.pattern),
+        f"{prefix}black_level": np.float64(raw.black_level),
+        f"{prefix}white_level": np.float64(raw.white_level),
+        f"{prefix}wb_gains": np.asarray(raw.wb_gains, dtype=np.float64),
+        f"{prefix}meta_json": np.array(json.dumps(raw.metadata, sort_keys=True)),
+    }
+
+
+def payload_to_raw(payload: Dict[str, np.ndarray], prefix: str = "") -> RawImage:
+    """Rebuild a :class:`RawImage` from :func:`raw_to_payload` output."""
+    wb = np.asarray(payload[f"{prefix}wb_gains"], dtype=np.float64)
+    return RawImage(
+        mosaic=np.asarray(payload[f"{prefix}mosaic"], dtype=np.float32),
+        pattern=str(payload[f"{prefix}pattern"]),
+        black_level=float(payload[f"{prefix}black_level"]),
+        white_level=float(payload[f"{prefix}white_level"]),
+        wb_gains=(float(wb[0]), float(wb[1]), float(wb[2])),
+        metadata=json.loads(str(payload[f"{prefix}meta_json"])),
+    )
+
+
+# ----------------------------------------------------------------------
+# The unit
+# ----------------------------------------------------------------------
+@dataclass
+class CaptureUnit:
+    """One independent slice of fleet work.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`UNIT_KINDS`.
+    profile:
+        The capturing device (capture kinds only).
+    radiance:
+        ``(H, W, 3)`` float32 radiance pixels arriving at the device
+        (capture kinds only).
+    raw:
+        A :func:`raw_to_payload` payload to develop (``develop`` only).
+    entropy:
+        The :func:`~repro.runner.seeds.unit_entropy` tuple seeding this
+        unit's RNG (capture kinds only; ``develop`` is noise-free).
+    options:
+        Kind-specific knobs: ``quality``, ``format_override``, ``isp``,
+        ``codec``, ``conversion_isp``.
+    """
+
+    kind: str
+    profile: Optional[DeviceProfile] = None
+    radiance: Optional[np.ndarray] = None
+    raw: Optional[Dict[str, np.ndarray]] = None
+    entropy: Tuple[int, ...] = ()
+    options: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in UNIT_KINDS:
+            raise ValueError(
+                f"unknown unit kind {self.kind!r}; expected one of {UNIT_KINDS}"
+            )
+        if self.kind == "develop":
+            if self.raw is None:
+                raise ValueError("develop units need a raw payload")
+        else:
+            if self.profile is None or self.radiance is None:
+                raise ValueError(f"{self.kind} units need a profile and radiance")
+            if not self.entropy:
+                raise ValueError(f"{self.kind} units need seed entropy")
+
+
+def unit_cache_key(unit: CaptureUnit) -> str:
+    """Content-addressed key: everything that determines the unit's output."""
+    return fingerprint(
+        (
+            _CACHE_VERSION,
+            unit.kind,
+            unit.profile,
+            unit.radiance,
+            unit.raw,
+            tuple(unit.entropy),
+            sorted(unit.options.items(), key=lambda kv: kv[0]),
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution (runs in worker processes — must stay import-light and pure)
+# ----------------------------------------------------------------------
+#: Per-process Phone memo: profiles are frozen, Phones are stateless, so
+#: one instance per distinct profile per worker is safe and saves the
+#: ISP-pipeline construction on every unit.
+_PHONE_MEMO: Dict[str, Phone] = {}
+
+
+def _phone_for(profile: DeviceProfile) -> Phone:
+    key = fingerprint(profile)
+    phone = _PHONE_MEMO.get(key)
+    if phone is None:
+        phone = Phone(profile)
+        _PHONE_MEMO[key] = phone
+    return phone
+
+
+def execute_unit(unit: CaptureUnit) -> Dict[str, np.ndarray]:
+    """Run one unit to completion. Pure: output depends only on the unit."""
+    if unit.kind == "develop":
+        return _execute_develop(unit)
+
+    phone = _phone_for(unit.profile)
+    rng = np.random.default_rng(tuple(unit.entropy))
+    radiance = ImageBuffer(unit.radiance)
+
+    if unit.kind == "photograph":
+        data = phone.photograph(
+            radiance,
+            rng,
+            quality=unit.options.get("quality"),
+            format_override=unit.options.get("format_override"),
+        )
+        image = decode_any(data)
+        return {
+            "pixels": image.pixels,
+            "encoded_size": np.int64(len(data)),
+        }
+
+    if unit.kind == "raw":
+        return raw_to_payload(phone.capture_raw(radiance, rng))
+
+    if unit.kind == "raw_vs_jpeg":
+        raw = phone.capture_raw(radiance, rng)
+        developed = phone.develop(raw)
+        quality = unit.options.get("quality", phone.profile.save_quality)
+        data = get_codec("jpeg").encode(developed, quality=quality)
+        conversion = build_isp(str(unit.options.get("conversion_isp", "imagemagick")))
+        return {
+            "jpeg_pixels": decode_any(data).pixels,
+            "raw_pixels": conversion.process(raw).pixels,
+            "encoded_size": np.int64(len(data)),
+        }
+
+    raise ValueError(f"unknown unit kind {unit.kind!r}")  # pragma: no cover
+
+
+def _execute_develop(unit: CaptureUnit) -> Dict[str, np.ndarray]:
+    raw = payload_to_raw(unit.raw)
+    image = build_isp(str(unit.options["isp"])).process(raw)
+    codec_name = unit.options.get("codec")
+    if not codec_name:
+        return {"pixels": image.pixels, "encoded_size": np.int64(0)}
+    codec = get_codec(str(codec_name))
+    quality = unit.options.get("quality")
+    if codec.default_quality is None:
+        data = codec.encode(image)
+    else:
+        q = int(quality) if quality is not None else codec.default_quality
+        data = codec.encode(image, quality=q)
+    return {
+        "pixels": codec.decode(data).pixels,
+        "encoded_size": np.int64(len(data)),
+    }

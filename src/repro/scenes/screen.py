@@ -47,7 +47,7 @@ class Screen:
 
     def __init__(self, profile: ScreenProfile | None = None, seed: int = 0) -> None:
         self.profile = profile or ScreenProfile()
-        self._seed = seed
+        self.seed = seed
         self._backlight_cache: dict = {}
 
     def _backlight(self, height: int, width: int) -> np.ndarray:
@@ -56,7 +56,7 @@ class Screen:
         cached = self._backlight_cache.get(key)
         if cached is not None:
             return cached
-        rng = np.random.default_rng(self._seed)
+        rng = np.random.default_rng(self.seed)
         coarse = rng.uniform(-1.0, 1.0, (4, 4)).astype(np.float32)
         fine = bilinear_resize(coarse, height, width)
         amp = self.profile.backlight_variation / 2.0

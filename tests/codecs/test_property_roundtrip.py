@@ -1,0 +1,214 @@
+"""Property-based round-trip tests for the bit-I/O and Huffman layers.
+
+Poor-man's property testing: seeded stdlib ``random`` drives many random
+trials per property (no hypothesis dependency). Each trial generates a
+random program — a sequence of (value, nbits) writes or a random symbol
+stream — runs it through the encoder, and asserts the decoder recovers
+it exactly. A separate battery asserts malformed/truncated streams
+*raise* (EOFError/ValueError) instead of looping or fabricating data.
+"""
+
+import random
+
+import pytest
+
+from repro.codecs.bitio import BitReader, BitWriter
+from repro.codecs.huffman import (
+    STD_AC_CHROMA,
+    STD_AC_LUMA,
+    STD_DC_CHROMA,
+    STD_DC_LUMA,
+    HuffmanTable,
+)
+
+TRIALS = 25
+
+
+def _random_fields(rng, n):
+    """Random (value, nbits) pairs, biased toward 0xFF-heavy patterns."""
+    fields = []
+    for _ in range(n):
+        nbits = rng.randint(1, 24)
+        if rng.random() < 0.25:
+            value = (1 << nbits) - 1  # all-ones: exercises FF stuffing
+        else:
+            value = rng.randrange(1 << nbits)
+        fields.append((value, nbits))
+    return fields
+
+
+# ----------------------------------------------------------------------
+# BitWriter / BitReader
+# ----------------------------------------------------------------------
+class TestBitIORoundTrip:
+    @pytest.mark.parametrize("stuff_ff", [False, True])
+    @pytest.mark.parametrize("trial", range(TRIALS))
+    def test_random_field_sequences_round_trip(self, trial, stuff_ff):
+        rng = random.Random(1000 * trial + stuff_ff)
+        fields = _random_fields(rng, rng.randint(1, 64))
+        writer = BitWriter(stuff_ff=stuff_ff)
+        for value, nbits in fields:
+            writer.write_bits(value, nbits)
+        writer.flush()
+        data = writer.getvalue()
+
+        reader = BitReader(data, unstuff_ff=stuff_ff)
+        for value, nbits in fields:
+            assert reader.read_bits(nbits) == value
+
+    @pytest.mark.parametrize("trial", range(TRIALS))
+    def test_bitwise_writes_equal_grouped_writes(self, trial):
+        """Writing bit by bit must produce the same stream as field writes."""
+        rng = random.Random(trial)
+        fields = _random_fields(rng, rng.randint(1, 32))
+
+        grouped = BitWriter()
+        bitwise = BitWriter()
+        for value, nbits in fields:
+            grouped.write_bits(value, nbits)
+            for shift in range(nbits - 1, -1, -1):
+                bitwise.write_bits((value >> shift) & 1, 1)
+        grouped.flush()
+        bitwise.flush()
+        assert grouped.getvalue() == bitwise.getvalue()
+
+    def test_ff_stuffing_inserts_zero_bytes(self):
+        writer = BitWriter(stuff_ff=True)
+        writer.write_bits(0xFF, 8)
+        writer.write_bits(0xFF, 8)
+        writer.flush()
+        assert writer.getvalue() == b"\xff\x00\xff\x00"
+
+    def test_flush_pads_with_ones_by_default(self):
+        writer = BitWriter()
+        writer.write_bits(0, 1)
+        writer.flush()
+        assert writer.getvalue() == b"\x7f"
+
+    def test_write_rejects_out_of_range_values(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(4, 2)
+        with pytest.raises(ValueError):
+            writer.write_bits(-1, 4)
+        with pytest.raises(ValueError):
+            writer.write_bits(0, -1)
+
+    def test_getvalue_requires_flush(self):
+        writer = BitWriter()
+        writer.write_bits(1, 3)
+        with pytest.raises(RuntimeError):
+            writer.getvalue()
+
+    def test_exhausted_stream_raises_eoferror(self):
+        reader = BitReader(b"\xab")
+        reader.read_bits(8)
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_truncated_stuffing_byte_raises(self):
+        with pytest.raises(EOFError):
+            BitReader(b"\xff", unstuff_ff=True).read_bit()
+
+    def test_marker_inside_entropy_data_raises(self):
+        # 0xFFD9 (EOI) must stop the reader, not decode as data.
+        reader = BitReader(b"\xff\xd9", unstuff_ff=True)
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+
+# ----------------------------------------------------------------------
+# HuffmanTable
+# ----------------------------------------------------------------------
+STD_TABLES = {
+    "dc_luma": STD_DC_LUMA,
+    "dc_chroma": STD_DC_CHROMA,
+    "ac_luma": STD_AC_LUMA,
+    "ac_chroma": STD_AC_CHROMA,
+}
+
+
+def _roundtrip(table, symbols, stuff_ff=False):
+    writer = BitWriter(stuff_ff=stuff_ff)
+    for sym in symbols:
+        table.encode_symbol(writer, sym)
+    writer.flush()
+    reader = BitReader(writer.getvalue(), unstuff_ff=stuff_ff)
+    return [table.decode_symbol(reader) for _ in symbols]
+
+
+class TestHuffmanRoundTrip:
+    @pytest.mark.parametrize("name", sorted(STD_TABLES))
+    @pytest.mark.parametrize("trial", range(5))
+    def test_standard_tables_round_trip(self, name, trial):
+        table = STD_TABLES[name]
+        rng = random.Random(100 * trial + hash(name) % 97)
+        symbols = rng.choices(table.values, k=rng.randint(1, 200))
+        assert _roundtrip(table, symbols, stuff_ff=bool(trial % 2)) == symbols
+
+    @pytest.mark.parametrize("trial", range(TRIALS))
+    def test_frequency_built_tables_round_trip(self, trial):
+        rng = random.Random(7000 + trial)
+        alphabet = rng.sample(range(256), rng.randint(1, 40))
+        freqs = {sym: rng.randint(1, 10_000) for sym in alphabet}
+        table = HuffmanTable.from_frequencies(freqs)
+        symbols = rng.choices(alphabet, k=rng.randint(1, 300))
+        assert _roundtrip(table, symbols) == symbols
+
+    @pytest.mark.parametrize("trial", range(TRIALS))
+    def test_frequency_built_tables_satisfy_kraft(self, trial):
+        rng = random.Random(31_000 + trial)
+        alphabet = rng.sample(range(512), rng.randint(2, 64))
+        table = HuffmanTable.from_frequencies(
+            {sym: rng.randint(1, 1_000) for sym in alphabet}
+        )
+        kraft = sum(
+            count * 2.0 ** -(length)
+            for length, count in enumerate(table.bits, start=1)
+        )
+        assert kraft <= 1.0 + 1e-12
+        assert max(
+            length
+            for length, count in enumerate(table.bits, start=1)
+            if count
+        ) <= 16
+
+    def test_skewed_frequencies_give_short_codes_to_common_symbols(self):
+        table = HuffmanTable.from_frequencies({0: 1_000_000, 1: 10, 2: 1})
+        assert table.code_length(0) <= table.code_length(1) <= table.code_length(2)
+
+    def test_single_symbol_alphabet(self):
+        table = HuffmanTable.from_frequencies({42: 7})
+        assert _roundtrip(table, [42, 42, 42]) == [42, 42, 42]
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            HuffmanTable(bits=[1] * 8, values=[0])  # not 16 entries
+        with pytest.raises(ValueError):
+            HuffmanTable(bits=[2] + [0] * 15, values=[0])  # count mismatch
+        with pytest.raises(ValueError):
+            HuffmanTable(bits=[3] + [0] * 15, values=[0, 1, 2])  # oversubscribed
+        with pytest.raises(ValueError):
+            HuffmanTable(bits=[0, 2, 0] + [0] * 13, values=[5, 5])  # duplicate
+        with pytest.raises(ValueError):
+            HuffmanTable.from_frequencies({})
+        with pytest.raises(ValueError):
+            HuffmanTable.from_frequencies({0: 0})
+
+    def test_unknown_symbol_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            STD_DC_LUMA.encode_symbol(BitWriter(), 0xEE)
+
+    def test_invalid_code_raises_not_hangs(self):
+        # The DC-luma table is incomplete (Kraft sum < 1), so the all-ones
+        # path never reaches a symbol: decode must raise, not spin.
+        with pytest.raises(ValueError):
+            STD_DC_LUMA.decode_symbol(BitReader(b"\xff\xff"))
+
+    def test_truncated_symbol_raises_eoferror(self):
+        writer = BitWriter()
+        STD_AC_LUMA.encode_symbol(writer, 0xFA)  # a 16-bit code
+        writer.flush()
+        truncated = writer.getvalue()[:1]
+        with pytest.raises(EOFError):
+            STD_AC_LUMA.decode_symbol(BitReader(truncated))

@@ -12,6 +12,21 @@ from repro.core.records import ExperimentResult, PredictionRecord
 from repro.nn.model import micro_mobilenet
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden regression files (tests/data/) instead of comparing",
+    )
+
+
+@pytest.fixture
+def regen_golden(request):
+    """True when the run should rewrite golden files rather than assert."""
+    return request.config.getoption("--regen-golden")
+
+
 @pytest.fixture(scope="session")
 def tiny_model():
     """An untrained MicroMobileNet (weights random but deterministic)."""

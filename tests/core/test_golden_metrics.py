@@ -1,0 +1,165 @@
+"""Golden-value regression tests for the §2.2 metrics and PR curves.
+
+A fixed-seed synthetic fleet result (4 environments x 24 images x 8
+classes, full probability vectors) is pushed through every metric in
+:mod:`repro.core.instability` and :mod:`repro.core.pr_curves`; the
+outputs are pinned in ``tests/data/golden_metrics.json``. Any numeric
+drift — a refactor changing tie-breaking, a vectorization changing
+summation order — fails loudly here before it can silently shift the
+paper's reproduced numbers.
+
+Regenerate intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/core/test_golden_metrics.py --regen-golden
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.instability import (
+    accuracy,
+    image_stability_breakdown,
+    instability,
+    per_class_accuracy,
+    per_class_instability,
+    per_environment_accuracy,
+    unstable_image_ids,
+)
+from repro.core.pr_curves import average_precision, micro_average_pr, precision_recall
+from repro.core.records import ExperimentResult, PredictionRecord
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "data" / "golden_metrics.json"
+
+NUM_CLASSES = 8
+NUM_IMAGES = 24
+ENVIRONMENTS = ("phone_a", "phone_b", "phone_c", "phone_d")
+CLASS_NAMES = (
+    "water_bottle",
+    "remote",
+    "mug",
+    "stapler",
+    "keyboard",
+    "notebook",
+    "scissors",
+    "plant",
+)
+
+
+def _softmax(logits):
+    z = np.exp(logits - logits.max())
+    return z / z.sum()
+
+
+@pytest.fixture(scope="module")
+def fleet_result():
+    """Deterministic synthetic fleet with stable and unstable images."""
+    rng = np.random.default_rng(20240806)
+    records = []
+    proba_rows = []
+    labels = []
+    for image_id in range(NUM_IMAGES):
+        true_label = image_id % NUM_CLASSES
+        base = rng.normal(0.0, 1.0, NUM_CLASSES)
+        base[true_label] += 1.2
+        for env in ENVIRONMENTS:
+            proba = _softmax(base + rng.normal(0.0, 0.8, NUM_CLASSES))
+            ranking = tuple(int(c) for c in np.argsort(-proba, kind="stable"))
+            records.append(
+                PredictionRecord(
+                    environment=env,
+                    image_id=image_id,
+                    true_label=true_label,
+                    predicted_label=ranking[0],
+                    confidence=float(proba[ranking[0]]),
+                    class_name=CLASS_NAMES[true_label],
+                    ranking=ranking,
+                    angle=0.0,
+                    metadata={"probabilities": tuple(float(p) for p in proba)},
+                )
+            )
+            proba_rows.append(proba)
+            labels.append(true_label)
+    return (
+        ExperimentResult(records, name="golden_synthetic"),
+        np.array(proba_rows),
+        np.array(labels),
+    )
+
+
+def _curve_summary(curve):
+    return {
+        "points": int(len(curve.precision)),
+        "precision_sum": float(curve.precision.sum()),
+        "recall_sum": float(curve.recall.sum()),
+        "final_precision": float(curve.precision[-1]),
+        "average_precision": average_precision(curve),
+    }
+
+
+def _compute_metrics(fleet_result):
+    result, proba, labels = fleet_result
+    per_class_curves = {
+        CLASS_NAMES[c]: _curve_summary(precision_recall(result, c))
+        for c in range(NUM_CLASSES)
+    }
+    return {
+        "accuracy_top1": accuracy(result),
+        "accuracy_top3": accuracy(result, k=3),
+        "instability_top1": instability(result),
+        "instability_top3": instability(result, k=3),
+        "per_class_accuracy": per_class_accuracy(result),
+        "per_class_instability": per_class_instability(result),
+        "per_environment_accuracy": per_environment_accuracy(result),
+        "unstable_image_ids": unstable_image_ids(result),
+        "stability_breakdown": image_stability_breakdown(result),
+        "per_class_pr": per_class_curves,
+        "micro_pr": _curve_summary(micro_average_pr(proba, labels)),
+    }
+
+
+def _assert_matches(actual, golden, path="$"):
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), path
+        assert sorted(actual) == sorted(golden), path
+        for key in golden:
+            _assert_matches(actual[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(actual, (list, tuple)), path
+        assert len(actual) == len(golden), path
+        for i, (a, g) in enumerate(zip(actual, golden)):
+            _assert_matches(a, g, f"{path}[{i}]")
+    elif isinstance(golden, float):
+        assert actual == pytest.approx(golden, rel=1e-9, abs=1e-12), path
+    else:
+        assert actual == golden, path
+
+
+def test_metrics_match_golden(fleet_result, regen_golden):
+    metrics = _compute_metrics(fleet_result)
+    if regen_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden file regenerated at {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"missing {GOLDEN_PATH}; run pytest with --regen-golden to create it"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    _assert_matches(metrics, golden)
+
+
+def test_golden_fixture_exercises_both_regimes(fleet_result):
+    """Sanity-check the synthetic fleet covers the interesting cases.
+
+    If a future edit to the generator makes every image stable (or every
+    image unstable), the golden comparison would still pass after a
+    --regen-golden — this guard keeps the fixture meaningful.
+    """
+    result, _, _ = fleet_result
+    breakdown = image_stability_breakdown(result)
+    assert breakdown["unstable"], "fixture lost its unstable images"
+    assert breakdown["stable_correct"], "fixture lost its stable images"
+    assert 0.0 < instability(result) < 1.0
+    assert 0.0 < accuracy(result) < 1.0

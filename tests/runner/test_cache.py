@@ -1,0 +1,194 @@
+"""Unit tests for content-addressed fingerprinting and the capture cache."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.devices import capture_fleet
+from repro.runner import CaptureCache, fingerprint
+from repro.runner.units import CaptureUnit, unit_cache_key
+from repro.runner.seeds import unit_entropy
+
+
+def _payload():
+    rng = np.random.default_rng(7)
+    return {
+        "pixels": rng.random((8, 8, 3)).astype(np.float32),
+        "encoded_size": np.int64(1234),
+        "meta_json": np.array('{"a": 1}'),
+    }
+
+
+# ----------------------------------------------------------------------
+# fingerprint()
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        profile = capture_fleet()[0]
+        obj = ("v1", profile, np.arange(12.0).reshape(3, 4), {"q": 85})
+        assert fingerprint(obj) == fingerprint(obj)
+
+    def test_type_tags_prevent_collisions(self):
+        assert fingerprint("1") != fingerprint(1)
+        assert fingerprint(1) != fingerprint(1.0)
+        assert fingerprint(True) != fingerprint(1)
+        assert fingerprint(None) != fingerprint("")
+        assert fingerprint(b"ab") != fingerprint("ab")
+
+    def test_array_content_dtype_and_shape_matter(self):
+        a = np.arange(6, dtype=np.float32)
+        assert fingerprint(a) != fingerprint(a.astype(np.float64))
+        assert fingerprint(a) != fingerprint(a.reshape(2, 3))
+        b = a.copy()
+        b[3] = np.nextafter(b[3], np.float32(np.inf))
+        assert fingerprint(a) != fingerprint(b)
+        assert fingerprint(a) == fingerprint(a.copy())
+
+    def test_noncontiguous_array_equals_contiguous(self):
+        arr = np.arange(24.0).reshape(4, 6)
+        assert fingerprint(arr[:, ::2]) == fingerprint(
+            np.ascontiguousarray(arr[:, ::2])
+        )
+
+    def test_dict_order_insensitive(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint({"a": 1, "b": 2}) != fingerprint({"a": 2, "b": 1})
+
+    def test_dataclass_fields_feed_in(self):
+        profile = capture_fleet()[0]
+        renamed = dataclasses.replace(profile, name=profile.name + "-x")
+        assert fingerprint(profile) != fingerprint(renamed)
+        assert fingerprint(profile) == fingerprint(dataclasses.replace(profile))
+
+    def test_unhashable_type_raises(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+    def test_unit_cache_key_sensitivity(self, small_radiance):
+        profile = capture_fleet()[0]
+
+        def key(**overrides):
+            base = dict(
+                kind="photograph",
+                profile=profile,
+                radiance=small_radiance,
+                entropy=unit_entropy(0, profile.name, 0, 0),
+            )
+            base.update(overrides)
+            return unit_cache_key(CaptureUnit(**base))
+
+        assert key() == key()
+        assert key() != key(entropy=unit_entropy(1, profile.name, 0, 0))
+        assert key() != key(radiance=small_radiance * 0.5)
+        assert key() != key(options={"quality": 50})
+        # Option dict order must not matter.
+        assert key(options={"quality": 50, "format_override": "png"}) == key(
+            options={"format_override": "png", "quality": 50}
+        )
+
+
+# ----------------------------------------------------------------------
+# CaptureCache
+# ----------------------------------------------------------------------
+class TestCaptureCache:
+    def test_memory_roundtrip_and_stats(self):
+        cache = CaptureCache()
+        payload = _payload()
+        assert cache.get("k") is None
+        assert cache.stats.misses == 1
+        cache.put("k", payload)
+        assert cache.stats.stores == 1
+        out = cache.get("k")
+        assert cache.stats.hits == 1
+        assert set(out) == set(payload)
+        for name in payload:
+            assert np.array_equal(out[name], payload[name])
+
+    def test_get_returns_independent_copies(self):
+        cache = CaptureCache()
+        cache.put("k", _payload())
+        first = cache.get("k")
+        first["pixels"][:] = 0
+        second = cache.get("k")
+        assert not np.array_equal(first["pixels"], second["pixels"])
+
+    def test_put_copies_its_input(self):
+        cache = CaptureCache()
+        payload = _payload()
+        cache.put("k", payload)
+        payload["pixels"][:] = 0
+        assert cache.get("k")["pixels"].max() > 0
+
+    def test_disk_roundtrip_survives_memory_clear(self, tmp_path):
+        cache = CaptureCache(tmp_path / "c")
+        payload = _payload()
+        cache.put("deadbeef" * 8, payload)
+        cache.clear_memory()
+        assert len(cache) == 0
+        out = cache.get("deadbeef" * 8)
+        for name in payload:
+            assert np.array_equal(out[name], payload[name])
+
+    def test_disk_layout_is_sharded(self, tmp_path):
+        cache = CaptureCache(tmp_path / "c")
+        key = "abcd" * 16
+        cache.put(key, _payload())
+        assert (tmp_path / "c" / key[:2] / f"{key}.npz").is_file()
+
+    def test_contains_checks_both_layers(self, tmp_path):
+        cache = CaptureCache(tmp_path / "c")
+        key = "ff" * 32
+        assert key not in cache
+        cache.put(key, _payload())
+        assert key in cache
+        cache.clear_memory()
+        assert key in cache  # still on disk
+
+    def test_torn_disk_file_is_a_miss(self, tmp_path):
+        cache = CaptureCache(tmp_path / "c")
+        key = "00" * 32
+        path = tmp_path / "c" / key[:2] / f"{key}.npz"
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"PK\x03\x04 truncated garbage")
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = CaptureCache(max_memory_items=2)
+        cache.put("a", _payload())
+        cache.put("b", _payload())
+        cache.get("a")  # refresh "a": "b" is now least recent
+        cache.put("c", _payload())
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert len(cache) == 2
+
+    def test_memory_only_cache_forgets_on_clear(self):
+        cache = CaptureCache()
+        cache.put("k", _payload())
+        cache.clear_memory()
+        assert cache.get("k") is None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            CaptureCache(max_memory_items=0)
+
+    def test_rejects_cache_dir_that_is_a_file(self, tmp_path):
+        clash = tmp_path / "not-a-dir"
+        clash.write_text("occupied")
+        with pytest.raises(ValueError, match="not a directory"):
+            CaptureCache(clash)
+
+    def test_stats_reset(self):
+        cache = CaptureCache()
+        cache.get("missing")
+        cache.put("k", _payload())
+        cache.get("k")
+        cache.stats.reset()
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.stores) == (
+            0,
+            0,
+            0,
+        )

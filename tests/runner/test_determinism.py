@@ -1,0 +1,238 @@
+"""The headline invariant: parallel fleet execution == serial, bit for bit.
+
+For every experiment class, the same configuration is run serially and
+with 2- and 4-worker process pools; the resulting ``ExperimentResult``
+records (including full probability vectors) and instability numbers
+must be *identical*, not approximately equal. A second battery checks
+that cache hits — memory-level and disk-level — return arrays
+bit-identical to the cold computation that populated them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import instability
+from repro.lab import (
+    CompressionFormatExperiment,
+    CompressionQualityExperiment,
+    EndToEndExperiment,
+    ISPComparisonExperiment,
+    LensVariationExperiment,
+    LightingVariationExperiment,
+    RawCaptureBank,
+    RawVsJpegExperiment,
+)
+from repro.runner import (
+    CaptureCache,
+    CaptureUnit,
+    FleetExecutor,
+    execute_unit,
+    unit_entropy,
+)
+
+WORKER_COUNTS = (2, 4)
+
+
+def _records(result):
+    return list(result.records)
+
+
+def _assert_same_result(serial, other, label):
+    assert len(serial) == len(other), label
+    assert _records(serial) == _records(other), label
+    assert instability(serial) == instability(other), label
+
+
+# ----------------------------------------------------------------------
+# Parallel == serial, per experiment class
+# ----------------------------------------------------------------------
+class TestParallelEqualsSerial:
+    @pytest.fixture(scope="class")
+    def serial_end_to_end(self, tiny_model):
+        exp = EndToEndExperiment(model=tiny_model, angles=(0.0, 15.0), seed=3)
+        return exp.run(per_class=1)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_end_to_end(self, tiny_model, serial_end_to_end, workers):
+        exp = EndToEndExperiment(
+            model=tiny_model, angles=(0.0, 15.0), seed=3, workers=workers
+        )
+        _assert_same_result(
+            serial_end_to_end, exp.run(per_class=1), f"workers={workers}"
+        )
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_raw_capture_bank(self, workers):
+        serial = RawCaptureBank.collect(per_class=1, seed=1)
+        parallel = RawCaptureBank.collect(per_class=1, seed=1, workers=workers)
+        assert serial.phone_names == parallel.phone_names
+        for a, b in zip(serial.raws, parallel.raws):
+            assert np.array_equal(a.mosaic, b.mosaic)
+            assert a.wb_gains == b.wb_gains
+            assert a.pattern == b.pattern
+
+    @pytest.fixture(scope="class")
+    def bank(self):
+        return RawCaptureBank.collect(per_class=1, seed=0)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_compression_quality(self, tiny_model, bank, workers):
+        serial = CompressionQualityExperiment(model=tiny_model).run(bank)
+        parallel = CompressionQualityExperiment(
+            model=tiny_model, workers=workers
+        ).run(bank)
+        _assert_same_result(serial.result, parallel.result, f"workers={workers}")
+        assert serial.avg_size_bytes == parallel.avg_size_bytes
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_compression_format(self, tiny_model, bank, workers):
+        serial = CompressionFormatExperiment(model=tiny_model).run(bank)
+        parallel = CompressionFormatExperiment(
+            model=tiny_model, workers=workers
+        ).run(bank)
+        _assert_same_result(serial.result, parallel.result, f"workers={workers}")
+        assert serial.avg_size_bytes == parallel.avg_size_bytes
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_isp_comparison(self, tiny_model, bank, workers):
+        serial = ISPComparisonExperiment(model=tiny_model).run(bank)
+        parallel = ISPComparisonExperiment(model=tiny_model, workers=workers).run(
+            bank
+        )
+        _assert_same_result(serial.result, parallel.result, f"workers={workers}")
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_raw_vs_jpeg(self, tiny_model, workers):
+        serial = RawVsJpegExperiment(model=tiny_model, seed=2).run(per_class=1)
+        parallel = RawVsJpegExperiment(
+            model=tiny_model, seed=2, workers=workers
+        ).run(per_class=1)
+        _assert_same_result(serial.jpeg_result, parallel.jpeg_result, "jpeg arm")
+        _assert_same_result(serial.raw_result, parallel.raw_result, "raw arm")
+
+    @pytest.mark.parametrize("workers", (2,))
+    def test_lighting_variation(self, tiny_model, workers):
+        serial = LightingVariationExperiment(model=tiny_model, seed=1).run(
+            per_class=1
+        )
+        parallel = LightingVariationExperiment(
+            model=tiny_model, seed=1, workers=workers
+        ).run(per_class=1)
+        _assert_same_result(serial, parallel, f"workers={workers}")
+
+    @pytest.mark.parametrize("workers", (2,))
+    def test_lens_variation(self, tiny_model, workers):
+        serial = LensVariationExperiment(model=tiny_model, seed=1, units=2).run(
+            per_class=1
+        )
+        parallel = LensVariationExperiment(
+            model=tiny_model, seed=1, units=2, workers=workers
+        ).run(per_class=1)
+        _assert_same_result(serial, parallel, f"workers={workers}")
+
+
+# ----------------------------------------------------------------------
+# Cache hits return bit-identical arrays
+# ----------------------------------------------------------------------
+class TestCacheIdentity:
+    def test_warm_experiment_equals_cold(self, tiny_model, tmp_path):
+        cache = CaptureCache(tmp_path / "fleet")
+        cold = EndToEndExperiment(
+            model=tiny_model, angles=(0.0,), seed=0, cache=cache
+        ).run(per_class=1)
+        assert cache.stats.stores > 0
+
+        warm = EndToEndExperiment(
+            model=tiny_model, angles=(0.0,), seed=0, cache=cache
+        ).run(per_class=1)
+        assert cache.stats.hits > 0
+        _assert_same_result(cold, warm, "warm vs cold")
+
+    def test_disk_layer_equals_cold(self, tiny_model, tmp_path):
+        """A fresh process's cache (empty memory, shared dir) must match."""
+        cache_dir = tmp_path / "fleet"
+        cold = EndToEndExperiment(
+            model=tiny_model, angles=(0.0,), seed=0, cache=CaptureCache(cache_dir)
+        ).run(per_class=1)
+        # New CaptureCache instance: the memory layer is empty, so every
+        # hit below is served from disk.
+        disk_cache = CaptureCache(cache_dir)
+        warm = EndToEndExperiment(
+            model=tiny_model, angles=(0.0,), seed=0, cache=disk_cache
+        ).run(per_class=1)
+        assert disk_cache.stats.hits > 0
+        _assert_same_result(cold, warm, "disk-warm vs cold")
+
+    def test_unit_level_hit_is_bit_identical(self, tmp_path, small_radiance):
+        from repro.devices import capture_fleet
+
+        profile = capture_fleet()[0]
+        unit = CaptureUnit(
+            kind="photograph",
+            profile=profile,
+            radiance=small_radiance,
+            entropy=unit_entropy(0, profile.name, 0, 0),
+        )
+        fresh = execute_unit(unit)
+        cache = CaptureCache(tmp_path / "u")
+        executor = FleetExecutor(workers=0, cache=cache)
+        cold = executor.run([unit])[0]
+        hit = executor.run([unit])[0]
+        for key in fresh:
+            assert np.array_equal(fresh[key], cold[key])
+            assert np.array_equal(fresh[key], hit[key])
+        assert cache.stats.hits == 1
+
+    def test_parallel_with_cold_cache_matches_serial(self, tiny_model, tmp_path):
+        serial = EndToEndExperiment(model=tiny_model, angles=(0.0,), seed=0).run(
+            per_class=1
+        )
+        parallel_cached = EndToEndExperiment(
+            model=tiny_model,
+            angles=(0.0,),
+            seed=0,
+            workers=2,
+            cache=CaptureCache(tmp_path / "pc"),
+        ).run(per_class=1)
+        _assert_same_result(serial, parallel_cached, "parallel+cache vs serial")
+
+
+# ----------------------------------------------------------------------
+# Seed independence: order and partitioning cannot matter
+# ----------------------------------------------------------------------
+class TestUnitIndependence:
+    def test_units_commute(self, small_radiance):
+        """Executing units in any order yields identical payloads."""
+        from repro.devices import capture_fleet
+
+        profile = capture_fleet()[0]
+        units = [
+            CaptureUnit(
+                kind="photograph",
+                profile=profile,
+                radiance=small_radiance,
+                entropy=unit_entropy(0, profile.name, i, 0),
+            )
+            for i in range(4)
+        ]
+        forward = [execute_unit(u) for u in units]
+        backward = [execute_unit(u) for u in reversed(units)][::-1]
+        for a, b in zip(forward, backward):
+            assert np.array_equal(a["pixels"], b["pixels"])
+
+    def test_distinct_units_get_distinct_noise(self, small_radiance):
+        from repro.devices import capture_fleet
+
+        profile = capture_fleet()[0]
+        a, b = (
+            execute_unit(
+                CaptureUnit(
+                    kind="photograph",
+                    profile=profile,
+                    radiance=small_radiance,
+                    entropy=unit_entropy(0, profile.name, i, 0),
+                )
+            )
+            for i in (0, 1)
+        )
+        assert not np.array_equal(a["pixels"], b["pixels"])

@@ -1,0 +1,93 @@
+"""Seed derivation unit tests plus a source-level audit.
+
+The audit half enforces the project's RNG discipline statically: no
+module under ``src/repro`` may touch numpy's *global* random state
+(``np.random.seed`` / ``np.random.rand`` / ``RandomState`` etc.).
+Everything must flow through explicit ``default_rng`` generators or the
+runner's per-unit entropy derivation — the property the parallel
+executor's bit-identity guarantee rests on.
+"""
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.runner import derive_rng, unit_entropy
+from repro.runner.seeds import seed_component
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Legacy global-state numpy RNG calls, banned everywhere in src/.
+BANNED = re.compile(
+    r"np\.random\.(seed|rand|randn|randint|random_sample|choice|shuffle|"
+    r"permutation|normal|uniform|get_state|set_state)\b"
+    r"|numpy\.random\.(seed|rand|randn|randint)\b"
+    r"|\bRandomState\("
+)
+
+
+# ----------------------------------------------------------------------
+# seed derivation
+# ----------------------------------------------------------------------
+class TestSeedDerivation:
+    def test_components_are_stable_32bit(self):
+        assert seed_component(0) == 0
+        assert seed_component(2**40 + 5) == ((2**40 + 5) & 0xFFFFFFFF)
+        assert seed_component(-1) == 0xFFFFFFFF
+        assert seed_component("galaxy_s10") == seed_component("galaxy_s10")
+        assert 0 <= seed_component("galaxy_s10") <= 0xFFFFFFFF
+        assert seed_component(True) == 1
+        assert seed_component(1.5) == seed_component(1.5)
+
+    def test_component_type_errors(self):
+        with pytest.raises(TypeError):
+            seed_component(None)
+        with pytest.raises(TypeError):
+            seed_component([1, 2])
+
+    def test_entropy_tuple_identifies_unit(self):
+        base = unit_entropy(0, "phone", 3, 1)
+        assert base == unit_entropy(0, "phone", 3, 1)
+        assert base != unit_entropy(1, "phone", 3, 1)
+        assert base != unit_entropy(0, "other", 3, 1)
+        assert base != unit_entropy(0, "phone", 4, 1)
+        assert base != unit_entropy(0, "phone", 3, 2)
+
+    def test_derive_rng_reproducible(self):
+        a = derive_rng(7, "phone", 0).random(16)
+        b = derive_rng(7, "phone", 0).random(16)
+        assert np.array_equal(a, b)
+
+    def test_derive_rng_streams_independent(self):
+        a = derive_rng(7, "phone", 0).random(16)
+        b = derive_rng(7, "phone", 1).random(16)
+        assert not np.array_equal(a, b)
+
+    def test_derive_rng_matches_entropy_tuple(self):
+        via_helper = derive_rng(3, "x", 2).random(8)
+        via_tuple = np.random.default_rng(unit_entropy(3, "x", 2)).random(8)
+        assert np.array_equal(via_helper, via_tuple)
+
+
+# ----------------------------------------------------------------------
+# source audit: no global numpy RNG state anywhere in src/repro
+# ----------------------------------------------------------------------
+def _source_files():
+    return sorted(SRC_ROOT.rglob("*.py"))
+
+
+def test_audit_finds_the_tree():
+    files = _source_files()
+    assert len(files) > 20, f"audit looked in the wrong place: {SRC_ROOT}"
+
+
+@pytest.mark.parametrize("path", _source_files(), ids=lambda p: str(p.relative_to(SRC_ROOT)))
+def test_no_global_numpy_rng(path):
+    offenders = [
+        f"{path.name}:{lineno}: {line.strip()}"
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1)
+        if BANNED.search(line)
+    ]
+    assert not offenders, "global numpy RNG state is banned:\n" + "\n".join(offenders)
