@@ -9,10 +9,18 @@ Usage::
     python -m repro isp --per-class 10
     python -m repro raw-vs-jpeg --per-class 10
     python -m repro stability --per-class 12 --epochs 6
+    python -m repro end-to-end --trace-out trace.jsonl --metrics-out metrics.json
+    python -m repro report --trace trace.jsonl --metrics metrics.json
 
 ``--workers N`` fans capture work across N processes and ``--cache-dir``
 reuses captured frames across runs; both are output-neutral — results
 are bit-identical to a serial, uncached run.
+
+``--trace-out``/``--metrics-out`` activate the :mod:`repro.obs`
+observability layer for the run and write a JSONL span trace / JSON
+metrics snapshot; ``report`` renders those files as per-stage and
+per-phone timing plus cache-efficiency tables. Observation is also
+output-neutral: it times and counts, it never touches results.
 
 Each command trains/loads the shared base model (cached after the first
 run), executes the experiment deterministically, and prints the same
@@ -22,6 +30,7 @@ report the corresponding benchmark does.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .core import (
@@ -171,6 +180,25 @@ def build_parser() -> argparse.ArgumentParser:
             dest="cache_dir",
             help="content-addressed capture cache directory (reused across runs)",
         )
+        observability(p)
+
+    def observability(p):
+        p.add_argument(
+            "--trace-out",
+            type=str,
+            default=None,
+            dest="trace_out",
+            help="record per-stage timing spans and append them to this "
+            "JSONL file (render with `python -m repro report`)",
+        )
+        p.add_argument(
+            "--metrics-out",
+            type=str,
+            default=None,
+            dest="metrics_out",
+            help="write the run's metrics snapshot (cache hit rates, "
+            "units executed, bytes encoded, ...) to this JSON file",
+        )
 
     p = sub.add_parser("end-to-end", help="the §4 five-phone study")
     common(p)
@@ -181,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--photos", type=int, default=100)
     p.add_argument("--format", choices=("jpeg", "png"), default="jpeg")
     p.add_argument("--save", type=str, default=None)
+    observability(p)
     p.set_defaults(func=_cmd_firebase)
 
     p = sub.add_parser("compression", help="Tables 2 and 3")
@@ -200,12 +229,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=int, default=6)
     p.set_defaults(func=_cmd_stability)
 
+    p = sub.add_parser(
+        "report",
+        help="render a recorded trace/metrics pair as timing and "
+        "cache-efficiency tables",
+    )
+    p.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        help="JSONL span trace written by --trace-out",
+    )
+    p.add_argument(
+        "--metrics",
+        type=str,
+        default=None,
+        help="JSON metrics snapshot written by --metrics-out",
+    )
+    p.set_defaults(func=_cmd_report)
+
     return parser
 
 
+def _cmd_report(args) -> None:
+    if args.trace is None and args.metrics is None:
+        raise SystemExit(
+            "repro report: provide --trace and/or --metrics "
+            "(files written by an experiment's --trace-out/--metrics-out)"
+        )
+    from .obs.report import render_report
+
+    print(render_report(trace_path=args.trace, metrics_path=args.metrics))
+
+
 def main(argv=None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        # Detach stdout so the interpreter's shutdown flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out is None and metrics_out is None:
+        args.func(args)
+        return 0
+
+    # Observed run: collect spans/metrics around the whole experiment,
+    # then export. Observation is side-band only — results are
+    # bit-identical to an unobserved run.
+    from . import obs
+
+    with obs.observed() as ob:
+        args.func(args)
+    if trace_out is not None:
+        written = ob.tracer.export_jsonl(trace_out)
+        print(f"trace: {written} spans appended to {trace_out}")
+    if metrics_out is not None:
+        obs.write_metrics_json(ob.metrics.snapshot(), metrics_out)
+        print(f"metrics: snapshot written to {metrics_out}")
     return 0
 
 

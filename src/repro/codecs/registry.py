@@ -8,9 +8,12 @@ over registry entries, and new codecs can be registered by extensions.
 
 from __future__ import annotations
 
+import dataclasses
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
+from .. import obs
 from ..imaging.image import ImageBuffer
 from .heif import decode_heif, encode_heif
 from .jpeg import JpegDecodeOptions, decode_jpeg, encode_jpeg
@@ -42,11 +45,50 @@ class Codec:
 _REGISTRY: Dict[str, Codec] = {}
 
 
+def _instrumented(codec: Codec) -> Codec:
+    """Wrap a codec's callables with tracing spans and byte counters.
+
+    The wrappers are transparent when no observer is active (one global
+    read each), preserve ``__qualname__``/``__module__`` via
+    ``functools.wraps`` (so content fingerprints of callables are
+    unchanged), and never alter the bytes or pixels flowing through.
+    """
+    if getattr(codec.encode, "_obs_instrumented", False):
+        return codec  # already wrapped (e.g. re-registered with overwrite)
+    encode_fn, decode_fn = codec.encode, codec.decode
+
+    @functools.wraps(encode_fn)
+    def encode(image: ImageBuffer, **params) -> bytes:
+        ob = obs.active()
+        if ob is None:
+            return encode_fn(image, **params)
+        with ob.tracer.span("codec.encode", codec=codec.name):
+            data = encode_fn(image, **params)
+        ob.metrics.count("codec.bytes_encoded", len(data))
+        ob.metrics.count(f"codec.encoded.{codec.name}")
+        ob.metrics.observe("codec.encoded_size", len(data))
+        return data
+
+    @functools.wraps(decode_fn)
+    def decode(data: bytes) -> ImageBuffer:
+        ob = obs.active()
+        if ob is None:
+            return decode_fn(data)
+        with ob.tracer.span("codec.decode", codec=codec.name):
+            image = decode_fn(data)
+        ob.metrics.count("codec.bytes_decoded", len(data))
+        return image
+
+    encode._obs_instrumented = True
+    decode._obs_instrumented = True
+    return dataclasses.replace(codec, encode=encode, decode=decode)
+
+
 def register_codec(codec: Codec, overwrite: bool = False) -> None:
-    """Add a codec to the global registry."""
+    """Add a codec to the global registry (instrumented; see above)."""
     if codec.name in _REGISTRY and not overwrite:
         raise ValueError(f"codec {codec.name!r} already registered")
-    _REGISTRY[codec.name] = codec
+    _REGISTRY[codec.name] = _instrumented(codec)
 
 
 def get_codec(name: str) -> Codec:

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..imaging.image import ImageBuffer
 from ..nn.model import Model
 from ..nn.preprocess import to_model_input
@@ -73,18 +74,20 @@ class DeviceRuntime:
     def predict(self, images: Sequence[ImageBuffer] | ImageBuffer) -> List[Prediction]:
         """Run inference on decoded image(s), in deterministic batches."""
         x = to_model_input(images)
-        if self.numerics == "float16":
-            x = x.astype(np.float16).astype(np.float32)
-        if self.batch_size is None or len(x) <= self.batch_size:
-            proba = self.model.predict_proba(x)
-        else:
-            proba = np.concatenate(
-                [
-                    self.model.predict_proba(x[start : start + self.batch_size])
-                    for start in range(0, len(x), self.batch_size)
-                ],
-                axis=0,
-            )
+        with obs.span("inference.predict", frames=len(x), numerics=self.numerics):
+            if self.numerics == "float16":
+                x = x.astype(np.float16).astype(np.float32)
+            if self.batch_size is None or len(x) <= self.batch_size:
+                proba = self.model.predict_proba(x)
+            else:
+                proba = np.concatenate(
+                    [
+                        self.model.predict_proba(x[start : start + self.batch_size])
+                        for start in range(0, len(x), self.batch_size)
+                    ],
+                    axis=0,
+                )
+        obs.count("inference.frames", len(x))
         results = []
         for row in proba:
             ranking = tuple(int(i) for i in np.argsort(-row))

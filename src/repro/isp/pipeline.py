@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from .. import obs
 from ..imaging.image import ImageBuffer, RawImage
 from .stages import BlackLevelCorrection, Demosaic, ISPStage, ISPState
 
@@ -39,11 +40,18 @@ class ISPPipeline:
         self.name = name
 
     def process(self, raw: RawImage) -> ImageBuffer:
-        """Run the raw capture through every stage."""
-        state = ISPState(raw=raw, mosaic=raw.mosaic.astype("float32").copy())
-        for stage in self.stages:
-            state = stage.process(state)
-        return ImageBuffer(state.require_rgb()).clipped()
+        """Run the raw capture through every stage.
+
+        Each stage executes inside its own ``isp.<stage>`` tracing span
+        (annotated with the pipeline name) when observability is active,
+        so traces attribute develop time stage by stage.
+        """
+        with obs.span("isp.process", pipeline=self.name):
+            state = ISPState(raw=raw, mosaic=raw.mosaic.astype("float32").copy())
+            for stage in self.stages:
+                with obs.span(f"isp.{stage.name}", pipeline=self.name):
+                    state = stage.process(state)
+            return ImageBuffer(state.require_rgb()).clipped()
 
     def process_with_taps(self, raw: RawImage) -> Tuple[ImageBuffer, Dict[str, ImageBuffer]]:
         """Run the pipeline, also returning the image after each RGB stage."""

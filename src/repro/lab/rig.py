@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..imaging.image import ImageBuffer
 from ..imaging.ops import perspective_shift
 from ..runner.cache import CaptureCache, fingerprint
@@ -67,8 +68,11 @@ class CaptureRig:
     def _render_base(self, item: LabeledScene) -> ImageBuffer:
         """Render + display one scene, through the shared cache if any."""
         if self.cache is None:
-            rendered = item.scene.render(self.render_size, self.render_size)
-            return self.screen.display(rendered)
+            with obs.span("rig.render"):
+                rendered = item.scene.render(self.render_size, self.render_size)
+                base = self.screen.display(rendered)
+            obs.count("rig.render.miss")
+            return base
         key = fingerprint(
             (
                 "radiance-v1",
@@ -80,9 +84,12 @@ class CaptureRig:
         )
         payload = self.cache.get(key)
         if payload is not None:
+            obs.count("rig.render.hit")
             return ImageBuffer(payload["pixels"])
-        rendered = item.scene.render(self.render_size, self.render_size)
-        base = self.screen.display(rendered)
+        with obs.span("rig.render"):
+            rendered = item.scene.render(self.render_size, self.render_size)
+            base = self.screen.display(rendered)
+        obs.count("rig.render.miss")
         self.cache.put(key, {"pixels": base.pixels})
         return base
 

@@ -1,0 +1,172 @@
+"""Observability: tracing, metrics, and profiling for the capture stack.
+
+The package answers the questions PR 1's fleet executor left opaque —
+where capture time goes, what the cache hit rate is, which pipeline
+stage produced a given output — without perturbing a single output bit:
+
+* :mod:`~repro.obs.trace` — nested :class:`Span` timing contexts with a
+  thread/process-safe JSONL exporter;
+* :mod:`~repro.obs.metrics` — a :class:`MetricsRegistry` of counters /
+  gauges / histograms with ``snapshot()`` -> dict and cross-worker
+  ``merge()`` semantics;
+* :mod:`~repro.obs.report` — renders the per-phone / per-stage timing
+  and cache-efficiency tables behind ``python -m repro report``.
+
+Instrumentation contract
+------------------------
+Hooks throughout the stack (executor, cache, units, ISP pipeline,
+sensor, codec registry, device runtime) call the module-level helpers
+below — :func:`span`, :func:`count`, :func:`gauge`, :func:`observe`.
+When no observer is active, every helper is a dict-miss-cheap no-op
+(one global read and an ``if``), so disabled observability costs
+nothing measurable. Activate collection with::
+
+    from repro import obs
+
+    with obs.observed() as ob:
+        result = EndToEndExperiment(seed=0, workers=4).run(per_class=8)
+    ob.tracer.export_jsonl("trace.jsonl")
+    snapshot = ob.metrics.snapshot()
+
+Observation never touches any RNG and never changes what the
+instrumented code returns, so experiment outputs are bit-identical with
+observability on or off (``tests/obs/test_determinism_guard.py``).
+Worker processes record into their own short-lived observer and ship
+``(spans, metrics)`` back with each unit's result; the parent merges
+them (see :meth:`~repro.obs.trace.Tracer.absorb` and
+:meth:`~repro.obs.metrics.MetricsRegistry.merge`).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from .metrics import Histogram, MetricsRegistry
+from .trace import Span, Tracer, read_jsonl
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "Span",
+    "Tracer",
+    "active",
+    "count",
+    "gauge",
+    "is_enabled",
+    "observe",
+    "observed",
+    "read_jsonl",
+    "span",
+    "write_metrics_json",
+]
+
+
+class Observer:
+    """A tracer + metrics registry pair collecting one observed run."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+
+#: The currently active observer, or ``None`` (the no-op fast path).
+_ACTIVE: Optional[Observer] = None
+
+
+class _NullSpan:
+    """Shared do-nothing span used whenever observability is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def active() -> Optional[Observer]:
+    """The active :class:`Observer`, or ``None`` when disabled."""
+    return _ACTIVE
+
+
+def is_enabled() -> bool:
+    """True when an observer is collecting."""
+    return _ACTIVE is not None
+
+
+@contextmanager
+def observed(observer: Optional[Observer] = None) -> Iterator[Observer]:
+    """Activate an observer for the duration of the ``with`` block.
+
+    Nests: the previous observer (possibly ``None``) is restored on
+    exit, so worker processes forked mid-observation can push their own
+    fresh observer without clobbering the parent's.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    ob = observer if observer is not None else Observer()
+    _ACTIVE = ob
+    try:
+        yield ob
+    finally:
+        _ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# Hook helpers — the only API instrumented modules call. Each is a no-op
+# when no observer is active.
+# ----------------------------------------------------------------------
+def span(name: str, **attrs: object):
+    """A timing context for region ``name`` (no-op singleton if disabled)."""
+    ob = _ACTIVE
+    if ob is None:
+        return _NULL_SPAN
+    return ob.tracer.span(name, **attrs)
+
+
+def count(name: str, n: float = 1) -> None:
+    """Increment counter ``name`` on the active registry, if any."""
+    ob = _ACTIVE
+    if ob is not None:
+        ob.metrics.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` on the active registry, if any."""
+    ob = _ACTIVE
+    if ob is not None:
+        ob.metrics.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` on the active registry."""
+    ob = _ACTIVE
+    if ob is not None:
+        ob.metrics.observe(name, value)
+
+
+def write_metrics_json(
+    snapshot: dict, path: Union[str, Path]
+) -> None:
+    """Serialize a :meth:`MetricsRegistry.snapshot` to a JSON file."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")

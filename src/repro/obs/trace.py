@@ -1,0 +1,240 @@
+"""Span tracing: nested timing contexts with a JSONL exporter.
+
+A :class:`Span` is one timed region of the capture stack — an ISP stage,
+a codec encode, one unit's full execution. Spans nest: each records the
+``span_id`` of the span that was open on the same thread when it
+started, so a trace reconstructs the call tree (unit -> sensor -> noise,
+unit -> isp -> demosaic, ...) without any global registry.
+
+:class:`Tracer` is the collector. It is thread-safe (per-thread open-span
+stacks, one lock around the finished list) and *process-portable*: spans
+convert to plain dicts (:meth:`Span.to_dict`) so worker processes can
+ship their spans back to the parent with their results, where
+:meth:`Tracer.absorb` re-ids them into the parent's trace. Export is a
+JSONL file — one span per line — written append-only so concurrent
+exporters sharing a path never produce torn lines.
+
+Timing uses ``time.perf_counter`` relative to the tracer's construction
+instant, so span starts are monotonic within one tracer and durations
+are wall-clock accurate; absorbed worker spans keep their (worker-local)
+starts, which remain internally ordered per unit.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+__all__ = ["Span", "Tracer", "read_jsonl"]
+
+
+@dataclass
+class Span:
+    """One finished timed region.
+
+    Parameters
+    ----------
+    span_id:
+        Identifier unique within one trace.
+    parent_id:
+        ``span_id`` of the enclosing span on the same thread, or ``None``
+        for a root span.
+    name:
+        Dotted region name (``"isp.demosaic"``, ``"codec.encode"``).
+    start:
+        Seconds since the owning tracer's epoch (monotonic clock).
+    duration:
+        Wall-clock seconds the region was open.
+    attrs:
+        Free-form string-keyed annotations (device name, codec, stage).
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    duration: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON- and pickle-friendly)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output."""
+        return cls(
+            span_id=int(data["span_id"]),
+            parent_id=None if data["parent_id"] is None else int(data["parent_id"]),
+            name=str(data["name"]),
+            start=float(data["start"]),
+            duration=float(data["duration"]),
+            attrs=dict(data.get("attrs") or {}),
+        )
+
+
+class _OpenSpan:
+    """Context manager for one in-flight span (returned by Tracer.span)."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span_id", "_parent_id", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def set(self, **attrs: object) -> "_OpenSpan":
+        """Attach or update attributes on the open span."""
+        self._attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_OpenSpan":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self._parent_id = stack[-1] if stack else None
+        self._span_id = tracer._allocate_id()
+        stack.append(self._span_id)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = time.perf_counter()
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack and stack[-1] == self._span_id:
+            stack.pop()
+        if exc_type is not None:
+            self._attrs.setdefault("error", exc_type.__name__)
+        tracer._finish(
+            Span(
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                name=self._name,
+                start=self._t0 - tracer._epoch,
+                duration=t1 - self._t0,
+                attrs=self._attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Thread-safe span collector with worker-merge and JSONL export.
+
+    One tracer accumulates the spans of one observed run. Spans opened
+    on different threads nest independently (per-thread stacks); spans
+    produced in worker *processes* are merged in afterwards with
+    :meth:`absorb`.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._next_id = 0
+        self._local = threading.local()
+
+    # -- internals ------------------------------------------------------
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> _OpenSpan:
+        """Open a nested timing context; use as ``with tracer.span(...)``."""
+        return _OpenSpan(self, name, attrs)
+
+    def absorb(
+        self,
+        span_dicts: Iterable[Dict[str, object]],
+        parent_id: Optional[int] = None,
+        **extra_attrs: object,
+    ) -> None:
+        """Merge spans serialized by another tracer (e.g. a worker process).
+
+        Span ids are remapped into this tracer's id space, preserving the
+        parent links *within* the absorbed batch; absorbed root spans are
+        re-parented under ``parent_id`` (or the caller's current open
+        span when ``parent_id`` is ``None``). ``extra_attrs`` are stamped
+        onto every absorbed root span.
+        """
+        if parent_id is None:
+            stack = self._stack()
+            parent_id = stack[-1] if stack else None
+        incoming = [Span.from_dict(d) for d in span_dicts]
+        remap: Dict[int, int] = {}
+        for span in incoming:
+            remap[span.span_id] = self._allocate_id()
+        with self._lock:
+            for span in incoming:
+                span.span_id = remap[span.span_id]
+                if span.parent_id in remap:
+                    span.parent_id = remap[span.parent_id]
+                else:
+                    span.parent_id = parent_id
+                    span.attrs.update(extra_attrs)
+                self._spans.append(span)
+
+    # -- reading / export -----------------------------------------------
+    def finished(self) -> List[Span]:
+        """Snapshot of all finished spans (insertion order)."""
+        with self._lock:
+            return list(self._spans)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """All finished spans as plain dicts (for IPC or JSON)."""
+        return [span.to_dict() for span in self.finished()]
+
+    def export_jsonl(self, path: Union[str, Path]) -> int:
+        """Append every finished span to ``path`` as one JSON line each.
+
+        Returns the number of spans written. Lines are flushed in one
+        buffered write per call; with O_APPEND semantics concurrent
+        processes sharing a path interleave whole lines, never bytes.
+        """
+        spans = self.finished()
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [
+            json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
+            for span in spans
+        ]
+        with self._lock:
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write("".join(line + "\n" for line in lines))
+        return len(lines)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Span]:
+    """Load spans from a JSONL trace file (blank lines are skipped)."""
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans

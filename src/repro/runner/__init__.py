@@ -22,6 +22,13 @@ guaranteed bit-identical either way:
 The determinism contract — parallel output equals serial output
 bit-for-bit for every experiment — is enforced by
 ``tests/runner/test_determinism.py``.
+
+The package is instrumented with :mod:`repro.obs`: when an observer is
+active, ``FleetExecutor.run`` emits ``fleet.*`` spans and counters, the
+cache reports ``capture_cache.*`` hit/miss/store counts, and units
+executed in worker processes serialize their spans and metrics back with
+their payloads (see ``execute_unit_observed``). Observation is timing
+side-band only and cannot change any payload bit.
 """
 
 from .cache import CacheStats, CaptureCache, fingerprint

@@ -27,6 +27,8 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from .. import obs
+
 __all__ = ["fingerprint", "CacheStats", "CaptureCache"]
 
 Payload = Dict[str, np.ndarray]
@@ -85,7 +87,26 @@ def _feed(hasher, obj) -> None:
 
 
 def fingerprint(obj) -> str:
-    """SHA-256 hex digest of ``obj``'s canonical encoding."""
+    """Content-address an object: SHA-256 of its canonical encoding.
+
+    Parameters
+    ----------
+    obj:
+        Any composition of ``None``, bools, ints, floats, strings,
+        bytes, numpy arrays, dataclass instances, dicts, lists/tuples,
+        and named callables. Encoding is type-tagged and
+        layout-insensitive (dict order, array contiguity don't matter).
+
+    Returns
+    -------
+    A 64-character hex digest; equal digests imply the canonical
+    encodings (and therefore the cache-relevant content) are equal.
+
+    Raises
+    ------
+    TypeError:
+        For objects outside the supported composition.
+    """
     hasher = hashlib.sha256()
     _feed(hasher, obj)
     return hasher.hexdigest()
@@ -96,13 +117,28 @@ def fingerprint(obj) -> str:
 # ----------------------------------------------------------------------
 @dataclasses.dataclass
 class CacheStats:
-    """Hit/miss counters, observable by tests and benchmarks."""
+    """Per-instance hit/miss/store counters.
+
+    Kept on the cache itself (independent of the global
+    :mod:`repro.obs` metrics) so tests and benchmarks can assert cache
+    behavior without activating observability.
+
+    Attributes
+    ----------
+    hits:
+        Lookups served from the memory or disk layer.
+    misses:
+        Lookups that found nothing (including torn disk files).
+    stores:
+        Payloads written via :meth:`CaptureCache.put`.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
 
     def reset(self) -> None:
+        """Zero all three counters."""
         self.hits = self.misses = self.stores = 0
 
 
@@ -112,12 +148,19 @@ class CaptureCache:
     Parameters
     ----------
     cache_dir:
-        Optional directory for the persistent layer; created on demand.
+        Optional directory for the persistent layer; created eagerly
+        (``exist_ok``, so concurrent constructions race safely).
         ``None`` keeps the cache purely in-memory.
     max_memory_items:
         LRU bound on the in-memory layer. Payloads are ~100 KiB each at
         the working 96x96 resolution, so the default bounds memory at
         a few hundred MiB.
+
+    Raises
+    ------
+    ValueError:
+        If ``max_memory_items`` is not positive, or ``cache_dir`` exists
+        and is not a directory.
     """
 
     def __init__(
@@ -128,19 +171,29 @@ class CaptureCache:
         if max_memory_items < 1:
             raise ValueError("max_memory_items must be positive")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        if (
-            self.cache_dir is not None
-            and self.cache_dir.exists()
-            and not self.cache_dir.is_dir()
-        ):
-            raise ValueError(
-                f"cache_dir {self.cache_dir} exists and is not a directory"
-            )
+        if self.cache_dir is not None:
+            self._ensure_dir(self.cache_dir)
         self.max_memory_items = max_memory_items
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, Payload]" = OrderedDict()
 
     # -- internals ------------------------------------------------------
+    @staticmethod
+    def _ensure_dir(path: Path) -> None:
+        """Create ``path`` as a directory, tolerating concurrent creators.
+
+        ``mkdir(exist_ok=True)`` alone still raises ``FileExistsError``
+        when a racing process creates the directory between the internal
+        existence check and the ``mkdir`` syscall on some platforms, so
+        that error is swallowed iff the path ended up being a directory.
+        """
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except FileExistsError:
+            pass
+        if not path.is_dir():
+            raise ValueError(f"cache path {path} exists and is not a directory")
+
     def _disk_path(self, key: str) -> Path:
         assert self.cache_dir is not None
         return self.cache_dir / key[:2] / f"{key}.npz"
@@ -157,43 +210,79 @@ class CaptureCache:
 
     # -- public API -----------------------------------------------------
     def get(self, key: str) -> Optional[Payload]:
-        """Fetch a payload copy, or ``None`` on a miss."""
+        """Look up a payload by its content-addressed key.
+
+        Parameters
+        ----------
+        key:
+            A :func:`fingerprint` hex digest (see
+            :func:`~repro.runner.units.unit_cache_key`).
+
+        Returns
+        -------
+        A defensive *copy* of the stored ``{name: ndarray}`` payload
+        (mutating it cannot corrupt the cache), or ``None`` on a miss.
+        Disk-layer hits are promoted into the memory LRU; torn or
+        unreadable disk files count as misses, never as errors.
+        """
         cached = self._memory.get(key)
         if cached is not None:
             self._memory.move_to_end(key)
             self.stats.hits += 1
+            obs.count("capture_cache.hit")
+            obs.count("capture_cache.memory_hit")
             return self._copy(cached)
         if self.cache_dir is not None:
             path = self._disk_path(key)
             if path.exists():
                 try:
-                    with np.load(path, allow_pickle=False) as data:
-                        payload = {name: data[name] for name in data.files}
+                    with obs.span("cache.disk_read"):
+                        with np.load(path, allow_pickle=False) as data:
+                            payload = {name: data[name] for name in data.files}
                 except (OSError, ValueError, zipfile.BadZipFile):
                     # A torn or stale file is a miss, never an error.
                     self.stats.misses += 1
+                    obs.count("capture_cache.miss")
                     return None
                 self._remember(key, payload)
                 self.stats.hits += 1
+                obs.count("capture_cache.hit")
+                obs.count("capture_cache.disk_hit")
                 return self._copy(payload)
         self.stats.misses += 1
+        obs.count("capture_cache.miss")
         return None
 
     def put(self, key: str, payload: Payload) -> None:
-        """Store a payload under ``key`` in both layers."""
+        """Store a payload under ``key`` in both layers.
+
+        Parameters
+        ----------
+        key:
+            Content-addressed key the payload will be retrievable under.
+        payload:
+            Flat ``{name: ndarray}`` mapping; values are normalized with
+            ``np.asarray`` and copied, so later mutation of the caller's
+            arrays cannot corrupt the cache. The disk write is atomic
+            (temp file + ``os.replace``) and shard directories are
+            created race-safely, so concurrent runs may share a
+            ``cache_dir``.
+        """
         normalized = {name: np.asarray(value) for name, value in payload.items()}
         self._remember(key, self._copy(normalized))
         self.stats.stores += 1
+        obs.count("capture_cache.store")
         if self.cache_dir is not None:
             path = self._disk_path(key)
-            path.parent.mkdir(parents=True, exist_ok=True)
+            self._ensure_dir(path.parent)
             fd, tmp = tempfile.mkstemp(
                 dir=path.parent, prefix=".tmp-", suffix=".npz"
             )
             try:
-                with os.fdopen(fd, "wb") as fh:
-                    np.savez_compressed(fh, **normalized)
-                os.replace(tmp, path)
+                with obs.span("cache.disk_write"):
+                    with os.fdopen(fd, "wb") as fh:
+                        np.savez_compressed(fh, **normalized)
+                    os.replace(tmp, path)
             except BaseException:
                 if os.path.exists(tmp):
                     os.unlink(tmp)

@@ -15,6 +15,15 @@
 Because every unit owns its RNG (see :mod:`repro.runner.seeds`) and
 ``execute_unit`` is pure, stage 2's scheduling cannot influence any
 output bit — the property ``tests/runner/test_determinism.py`` locks in.
+
+Observability: when a :mod:`repro.obs` observer is active, the whole
+``run`` is wrapped in a ``fleet.run`` span, cache probes and executions
+feed the fleet counters, and pooled workers execute through
+:func:`~repro.runner.units.execute_unit_observed`, which serializes each
+worker's spans and metrics back with its payload so the parent's trace
+covers work done in other processes. Observation is side-band only —
+payloads (and therefore experiment outputs) are bit-identical with it on
+or off.
 """
 
 from __future__ import annotations
@@ -26,14 +35,27 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from .cache import CaptureCache
-from .units import CaptureUnit, execute_unit, unit_cache_key
+from .units import CaptureUnit, execute_unit, execute_unit_observed, unit_cache_key
 
 __all__ = ["FleetExecutor", "resolve_workers"]
 
 
 def resolve_workers(workers: Optional[int]) -> int:
-    """Normalize a worker request: ``None``/0/1 -> serial, -1 -> all cores."""
+    """Normalize a worker request.
+
+    Parameters
+    ----------
+    workers:
+        ``None``, ``0``, or ``1`` select the serial in-process path;
+        ``-1`` (or any negative value) selects every available core;
+        any other positive value passes through.
+
+    Returns
+    -------
+    The effective process count, with ``0`` meaning "serial".
+    """
     if workers is None:
         return 0
     if workers < 0:
@@ -70,19 +92,40 @@ class FleetExecutor:
         self.cache = cache
 
     def run(self, units: Sequence[CaptureUnit]) -> List[Dict[str, np.ndarray]]:
-        """Execute every unit; returns payloads in input order."""
+        """Execute every unit, in input order.
+
+        Parameters
+        ----------
+        units:
+            The :class:`CaptureUnit` sequence to resolve. Units already
+            present in the attached cache are served without executing;
+            the rest run serially or across the process pool.
+
+        Returns
+        -------
+        One ``{name: ndarray}`` payload per unit, positionally aligned
+        with ``units`` regardless of worker count, cache state, or
+        scheduling order.
+        """
         units = list(units)
+        with obs.span("fleet.run", units=len(units), workers=self.workers):
+            return self._run(units)
+
+    def _run(self, units: List[CaptureUnit]) -> List[Dict[str, np.ndarray]]:
         results: List[Optional[Dict[str, np.ndarray]]] = [None] * len(units)
+        obs.count("fleet.units_submitted", len(units))
+        obs.gauge("fleet.workers", max(1, self.workers))
 
         if self.cache is not None:
-            keys = [unit_cache_key(unit) for unit in units]
-            pending = []
-            for i, key in enumerate(keys):
-                payload = self.cache.get(key)
-                if payload is not None:
-                    results[i] = payload
-                else:
-                    pending.append(i)
+            with obs.span("fleet.cache_probe", units=len(units)):
+                keys = [unit_cache_key(unit) for unit in units]
+                pending = []
+                for i, key in enumerate(keys):
+                    payload = self.cache.get(key)
+                    if payload is not None:
+                        results[i] = payload
+                    else:
+                        pending.append(i)
         else:
             keys = []
             pending = list(range(len(units)))
@@ -101,12 +144,28 @@ class FleetExecutor:
         self, units: List[CaptureUnit]
     ) -> List[Dict[str, np.ndarray]]:
         if self.workers <= 1 or len(units) <= 1:
+            # Serial fallback: hooks (if any) record straight into the
+            # active observer, no serialization needed.
             return [execute_unit(unit) for unit in units]
         max_workers = min(self.workers, len(units))
         # Chunk generously: units are ~ms-scale, so per-task IPC overhead
         # would otherwise dominate.
         chunksize = max(1, len(units) // (max_workers * 4))
+        observer = obs.active()
         with ProcessPoolExecutor(
             max_workers=max_workers, mp_context=_pool_context()
         ) as pool:
-            return list(pool.map(execute_unit, units, chunksize=chunksize))
+            if observer is None:
+                return list(pool.map(execute_unit, units, chunksize=chunksize))
+            # Observed fan-out: each worker records into its own fresh
+            # observer and ships (payload, spans, metrics) back; merging
+            # happens here in submission order, so the assembled trace is
+            # deterministic in structure even though worker timing isn't.
+            payloads: List[Dict[str, np.ndarray]] = []
+            for payload, span_dicts, metrics_snapshot in pool.map(
+                execute_unit_observed, units, chunksize=chunksize
+            ):
+                observer.tracer.absorb(span_dicts)
+                observer.metrics.merge(metrics_snapshot)
+                payloads.append(payload)
+            return payloads

@@ -41,10 +41,40 @@ def seed_component(part: Component) -> int:
 
 
 def unit_entropy(master_seed: int, *parts: Component) -> Tuple[int, ...]:
-    """Entropy tuple identifying one work unit's RNG stream."""
+    """Entropy tuple identifying one work unit's RNG stream.
+
+    Parameters
+    ----------
+    master_seed:
+        The experiment-wide seed.
+    *parts:
+        The unit's identity coordinates (device name, image id, repeat
+        index, ...) — whatever distinguishes this unit from every other
+        unit in the same experiment. Accepts ints, bools, floats, and
+        strings; see :func:`seed_component` for the folding rules.
+
+    Returns
+    -------
+    A tuple of non-negative 32-bit integers suitable for
+    ``numpy.random.SeedSequence`` (and for :class:`CaptureUnit.entropy`).
+    Equal coordinates produce equal tuples in every process, which is
+    the foundation of the parallel==serial determinism guarantee.
+    """
     return (seed_component(master_seed),) + tuple(seed_component(p) for p in parts)
 
 
 def derive_rng(master_seed: int, *parts: Component) -> np.random.Generator:
-    """An independent, order-insensitive generator for one work unit."""
+    """An independent, order-insensitive generator for one work unit.
+
+    Parameters
+    ----------
+    master_seed, *parts:
+        Identity coordinates, exactly as for :func:`unit_entropy`.
+
+    Returns
+    -------
+    A fresh ``numpy.random.Generator`` seeded purely from the unit's
+    identity — never from execution order, worker assignment, or any
+    other generator's consumption.
+    """
     return np.random.default_rng(unit_entropy(master_seed, *parts))

@@ -32,6 +32,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..codecs.registry import decode_any, get_codec
 from ..devices.phone import Phone
 from ..devices.profiles import DeviceProfile
@@ -43,6 +44,7 @@ from .seeds import unit_entropy  # noqa: F401  (re-exported convenience)
 __all__ = [
     "CaptureUnit",
     "execute_unit",
+    "execute_unit_observed",
     "unit_cache_key",
     "raw_to_payload",
     "payload_to_raw",
@@ -131,7 +133,22 @@ class CaptureUnit:
 
 
 def unit_cache_key(unit: CaptureUnit) -> str:
-    """Content-addressed key: everything that determines the unit's output."""
+    """Content-addressed cache key for one unit.
+
+    Parameters
+    ----------
+    unit:
+        The :class:`CaptureUnit` to key.
+
+    Returns
+    -------
+    A SHA-256 hex digest over everything that determines the unit's
+    output — kind, device profile, radiance/raw pixels, seed entropy,
+    and options (order-insensitive) — prefixed by :data:`_CACHE_VERSION`
+    so format changes can't serve stale payloads. Two units with equal
+    keys produce bit-identical payloads, which is what makes the cache
+    output-neutral.
+    """
     return fingerprint(
         (
             _CACHE_VERSION,
@@ -164,7 +181,38 @@ def _phone_for(profile: DeviceProfile) -> Phone:
 
 
 def execute_unit(unit: CaptureUnit) -> Dict[str, np.ndarray]:
-    """Run one unit to completion. Pure: output depends only on the unit."""
+    """Run one unit to completion.
+
+    Pure: the returned payload depends only on the unit itself (all
+    randomness comes from ``unit.entropy``), which is the property the
+    parallel==serial determinism suite relies on. When observability is
+    active, the whole execution is wrapped in a ``unit.execute`` span
+    (annotated with the unit kind and device) whose children are the
+    per-stage sensor/ISP/codec spans — timing only, never affecting the
+    payload.
+
+    Parameters
+    ----------
+    unit:
+        The work unit; see :class:`CaptureUnit` for the per-kind
+        requirements.
+
+    Returns
+    -------
+    A flat ``{name: ndarray}`` payload (cache- and IPC-friendly); the
+    exact key set depends on ``unit.kind``.
+    """
+    with obs.span(
+        "unit.execute",
+        kind=unit.kind,
+        device=unit.profile.name if unit.profile is not None else "-",
+    ):
+        payload = _execute_unit_inner(unit)
+    obs.count("fleet.units_executed")
+    return payload
+
+
+def _execute_unit_inner(unit: CaptureUnit) -> Dict[str, np.ndarray]:
     if unit.kind == "develop":
         return _execute_develop(unit)
 
@@ -201,6 +249,23 @@ def execute_unit(unit: CaptureUnit) -> Dict[str, np.ndarray]:
         }
 
     raise ValueError(f"unknown unit kind {unit.kind!r}")  # pragma: no cover
+
+
+def execute_unit_observed(unit: CaptureUnit):
+    """Worker-side entry point when the parent is observing.
+
+    Runs :func:`execute_unit` under a fresh, process-local observer and
+    returns ``(payload, span_dicts, metrics_snapshot)`` so the spans and
+    counters recorded inside the worker survive the process-pool
+    boundary; the parent merges them via
+    :meth:`~repro.obs.trace.Tracer.absorb` and
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge`. The payload is the
+    exact object :func:`execute_unit` returns — observation adds
+    side-band data, never changes results.
+    """
+    with obs.observed() as ob:
+        payload = execute_unit(unit)
+    return payload, ob.tracer.to_dicts(), ob.metrics.snapshot()
 
 
 def _execute_develop(unit: CaptureUnit) -> Dict[str, np.ndarray]:

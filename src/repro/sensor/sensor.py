@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..imaging.color import gray_world_gains
 from ..imaging.image import BAYER_PATTERNS, ImageBuffer, RawImage
 from ..imaging.ops import bilinear_resize
@@ -77,30 +78,34 @@ class BayerSensor:
         cfg = self.config
         h, w = cfg.resolution
 
-        linear = bilinear_resize(radiance.pixels, h, w)
-        linear = cfg.lens.apply(linear)
+        with obs.span("sensor.capture"):
+            with obs.span("sensor.optics"):
+                linear = bilinear_resize(radiance.pixels, h, w)
+                linear = cfg.lens.apply(linear)
 
-        sens = np.asarray(cfg.channel_sensitivity, dtype=np.float32)
-        exposed = linear * sens * np.float32(cfg.exposure)
+            sens = np.asarray(cfg.channel_sensitivity, dtype=np.float32)
+            exposed = linear * sens * np.float32(cfg.exposure)
 
-        # Sample through the CFA: each photosite sees one channel.
-        cell = BAYER_PATTERNS[cfg.pattern]
-        channel_map = np.tile(cell, (h // 2, w // 2))
-        mosaic = np.take_along_axis(
-            exposed.reshape(h, w, 3), channel_map[..., None], axis=2
-        )[..., 0]
+            # Sample through the CFA: each photosite sees one channel.
+            cell = BAYER_PATTERNS[cfg.pattern]
+            channel_map = np.tile(cell, (h // 2, w // 2))
+            mosaic = np.take_along_axis(
+                exposed.reshape(h, w, 3), channel_map[..., None], axis=2
+            )[..., 0]
 
-        mosaic = cfg.noise.apply(mosaic, rng)
+            with obs.span("sensor.noise"):
+                mosaic = cfg.noise.apply(mosaic, rng)
 
-        # Pedestal, saturation, and ADC quantization.
-        span = 1.0 - cfg.black_level
-        mosaic = cfg.black_level + np.clip(mosaic, 0.0, 1.0) * span
-        levels = (1 << cfg.adc_bits) - 1
-        mosaic = np.round(np.clip(mosaic, 0.0, 1.0) * levels) / levels
+            # Pedestal, saturation, and ADC quantization.
+            span = 1.0 - cfg.black_level
+            mosaic = cfg.black_level + np.clip(mosaic, 0.0, 1.0) * span
+            levels = (1 << cfg.adc_bits) - 1
+            mosaic = np.round(np.clip(mosaic, 0.0, 1.0) * levels) / levels
 
-        # As-shot white balance estimate (gray world over the exposed RGB,
-        # before mosaicing — phones estimate this from the full AWB stats).
-        wb = gray_world_gains(exposed)
+            # As-shot white balance estimate (gray world over the exposed
+            # RGB, before mosaicing — phones estimate this from the full
+            # AWB stats).
+            wb = gray_world_gains(exposed)
 
         return RawImage(
             mosaic=mosaic.astype(np.float32),

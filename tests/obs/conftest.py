@@ -1,0 +1,15 @@
+"""Fixtures for the observability test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def small_radiance():
+    """A small, smooth, deterministic (H, W, 3) radiance field."""
+    from scipy import ndimage
+
+    rng = np.random.default_rng(42)
+    field = ndimage.gaussian_filter(rng.random((64, 64, 3)), (3, 3, 0))
+    field = (field - field.min()) / (field.max() - field.min())
+    return field.astype(np.float32)

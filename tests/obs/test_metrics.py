@@ -1,0 +1,179 @@
+"""Metrics registry: counter/gauge/histogram semantics and worker merge."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestCounters:
+    def test_count_declares_and_increments(self):
+        reg = MetricsRegistry()
+        reg.count("cache.hit")
+        reg.count("cache.hit", 4)
+        assert reg.counter_value("cache.hit") == 5
+        assert reg.counter_value("never.touched") == 0
+        assert reg.counter_value("never.touched", default=-1) == -1
+
+    def test_snapshot_contains_counters(self):
+        reg = MetricsRegistry()
+        reg.count("a", 2)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 2}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+
+class TestGauges:
+    def test_gauge_is_last_write_locally(self):
+        reg = MetricsRegistry()
+        reg.gauge("workers", 4)
+        reg.gauge("workers", 2)
+        assert reg.snapshot()["gauges"]["workers"] == 2.0
+
+    def test_gauge_merge_keeps_maximum(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.gauge("workers", 2)
+        b.gauge("workers", 4)
+        a.merge(b.snapshot())
+        assert a.snapshot()["gauges"]["workers"] == 4.0
+
+
+class TestHistogram:
+    def test_records_exact_count_sum_min_max(self):
+        hist = Histogram()
+        for value in (1.0, 4.0, 16.0):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.total == 21.0
+        assert hist.min == 1.0
+        assert hist.max == 16.0
+        assert hist.mean == 7.0
+
+    def test_power_of_two_buckets(self):
+        hist = Histogram()
+        hist.record(3.0)  # ceil(log2(3)) == 2
+        hist.record(4.0)  # ceil(log2(4)) == 2
+        hist.record(5.0)  # ceil(log2(5)) == 3
+        assert hist.buckets == {2: 2, 3: 1}
+
+    def test_nonpositive_values_share_the_floor_bucket(self):
+        hist = Histogram()
+        hist.record(0.0)
+        hist.record(-1.0)
+        assert list(hist.buckets.values()) == [2]
+
+    def test_dict_round_trip(self):
+        hist = Histogram()
+        for value in (0.5, 2.0, 1000.0):
+            hist.record(value)
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.to_dict() == hist.to_dict()
+
+    def test_empty_round_trip(self):
+        clone = Histogram.from_dict(Histogram().to_dict())
+        assert clone.count == 0
+        assert clone.min is None and clone.max is None
+
+    def test_merge_combines_everything(self):
+        a, b = Histogram(), Histogram()
+        a.record(1.0)
+        a.record(8.0)
+        b.record(0.25)
+        b.record(8.0)
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == 17.25
+        assert a.min == 0.25
+        assert a.max == 8.0
+        assert a.buckets == {0: 1, 3: 2, -2: 1}
+
+
+class TestMergeAcrossWorkers:
+    """Simulate the executor folding worker snapshots into the parent."""
+
+    @staticmethod
+    def _worker_snapshot(hits, misses, encoded_sizes, workers):
+        reg = MetricsRegistry()
+        reg.count("capture_cache.hit", hits)
+        reg.count("capture_cache.miss", misses)
+        reg.gauge("fleet.workers", workers)
+        for size in encoded_sizes:
+            reg.observe("codec.encoded_size", size)
+        return reg.snapshot()
+
+    def test_counters_add_gauges_max_histograms_combine(self):
+        parent = MetricsRegistry()
+        parent.count("fleet.units_submitted", 6)
+        parent.merge(self._worker_snapshot(3, 1, [100.0, 200.0], 2))
+        parent.merge(self._worker_snapshot(1, 1, [400.0], 4))
+        snap = parent.snapshot()
+        assert snap["counters"]["capture_cache.hit"] == 4
+        assert snap["counters"]["capture_cache.miss"] == 2
+        assert snap["counters"]["fleet.units_submitted"] == 6
+        assert snap["gauges"]["fleet.workers"] == 4.0
+        hist = snap["histograms"]["codec.encoded_size"]
+        assert hist["count"] == 3
+        assert hist["sum"] == 700.0
+        assert hist["min"] == 100.0
+        assert hist["max"] == 400.0
+
+    def test_merge_is_order_independent(self):
+        snaps = [
+            self._worker_snapshot(2, 0, [64.0], 1),
+            self._worker_snapshot(0, 3, [128.0, 256.0], 3),
+            self._worker_snapshot(1, 1, [], 2),
+        ]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in snaps:
+            forward.merge(snap)
+        for snap in reversed(snaps):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_merge_is_associative(self):
+        a = self._worker_snapshot(1, 0, [2.0], 1)
+        b = self._worker_snapshot(0, 1, [4.0], 2)
+        c = self._worker_snapshot(2, 2, [8.0], 3)
+        left = MetricsRegistry()
+        left.merge(a)
+        left.merge(b)
+        left.merge(c)
+        ab = MetricsRegistry()
+        ab.merge(a)
+        ab.merge(b)
+        right = MetricsRegistry()
+        right.merge(ab.snapshot())
+        right.merge(c)
+        assert left.snapshot() == right.snapshot()
+
+    def test_merge_empty_snapshot_is_identity(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        before = reg.snapshot()
+        reg.merge(MetricsRegistry().snapshot())
+        reg.merge({})  # tolerates missing sections too
+        assert reg.snapshot() == before
+
+
+class TestSnapshotSerialization:
+    def test_snapshot_survives_json(self):
+        reg = MetricsRegistry()
+        reg.count("codec.bytes_encoded", 1234)
+        reg.gauge("fleet.workers", 4)
+        reg.observe("codec.encoded_size", 617.0)
+        reg.observe("codec.encoded_size", 617.0)
+        snap = reg.snapshot()
+        revived = json.loads(json.dumps(snap))
+        other = MetricsRegistry()
+        other.merge(revived)
+        assert other.snapshot() == snap
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        snap = reg.snapshot()
+        snap["counters"]["a"] = 999
+        assert reg.counter_value("a") == 1

@@ -1,0 +1,219 @@
+"""Span tracer: nesting, timing monotonicity, JSONL round-trip, absorb."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import Span, Tracer, read_jsonl
+
+
+class TestNesting:
+    def test_parent_links_follow_with_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        inner, middle, outer = tracer.finished()
+        assert (inner.name, middle.name, outer.name) == ("inner", "middle", "outer")
+        assert outer.parent_id is None
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, root = tracer.finished()
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_sequential_roots_do_not_nest(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.finished()
+        assert first.parent_id is None
+        assert second.parent_id is None
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        for _ in range(10):
+            with tracer.span("s"):
+                pass
+        ids = [s.span_id for s in tracer.finished()]
+        assert len(set(ids)) == len(ids)
+
+    def test_attrs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", device="phone-a") as span:
+            span.set(frames=3)
+        (finished,) = tracer.finished()
+        assert finished.attrs == {"device": "phone-a", "frames": 3}
+
+    def test_exception_closes_span_and_marks_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise RuntimeError("boom")
+        failing, outer = tracer.finished()
+        # Both spans closed despite the exception, each marked as it unwound.
+        assert failing.attrs["error"] == "RuntimeError"
+        assert outer.attrs["error"] == "RuntimeError"
+        # The stack unwound cleanly: a new root span has no parent.
+        with tracer.span("after"):
+            pass
+        assert tracer.finished()[-1].parent_id is None
+
+
+class TestTiming:
+    def test_durations_nonnegative_and_children_fit_in_parents(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                sum(range(1000))
+        child, parent = tracer.finished()
+        assert child.duration >= 0
+        assert parent.duration >= child.duration
+        assert parent.start <= child.start
+        assert child.start + child.duration <= parent.start + parent.duration + 1e-9
+
+    def test_starts_monotonic_for_sequential_spans(self):
+        tracer = Tracer()
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        starts = [s.start for s in tracer.finished()]
+        assert starts == sorted(starts)
+        assert all(s >= 0 for s in starts)
+
+
+class TestJsonlRoundTrip:
+    def test_export_then_read_is_identity(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", device="p"):
+            with tracer.span("inner", stage="demosaic"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        loaded = read_jsonl(path)
+        assert [s.to_dict() for s in loaded] == [
+            s.to_dict() for s in tracer.finished()
+        ]
+
+    def test_export_appends(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            tracer = Tracer()
+            with tracer.span("s"):
+                pass
+            tracer.export_jsonl(path)
+        assert len(read_jsonl(path)) == 2
+
+    def test_lines_are_valid_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s", codec="jpeg"):
+            pass
+        path = tmp_path / "t.jsonl"
+        tracer.export_jsonl(path)
+        for line in path.read_text().splitlines():
+            span = Span.from_dict(json.loads(line))
+            assert span.name == "s"
+
+    def test_creates_parent_directory(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        tracer.export_jsonl(path)
+        assert path.is_file()
+
+
+class TestAbsorb:
+    def test_worker_spans_remap_ids_and_reparent(self):
+        worker = Tracer()
+        with worker.span("unit.execute", device="w"):
+            with worker.span("isp.process"):
+                pass
+        parent = Tracer()
+        with parent.span("fleet.run") as _:
+            parent.absorb(worker.to_dicts(), unit_index=3)
+        spans = {s.name: s for s in parent.finished()}
+        fleet = spans["fleet.run"]
+        unit = spans["unit.execute"]
+        isp = spans["isp.process"]
+        assert unit.parent_id == fleet.span_id  # root re-parented
+        assert unit.attrs["unit_index"] == 3  # stamped on roots only
+        assert isp.parent_id == unit.span_id  # internal link preserved
+        assert "unit_index" not in isp.attrs
+        ids = [s.span_id for s in parent.finished()]
+        assert len(set(ids)) == len(ids)
+
+    def test_absorb_outside_any_span_keeps_roots_rootless(self):
+        worker = Tracer()
+        with worker.span("unit.execute"):
+            pass
+        parent = Tracer()
+        parent.absorb(worker.to_dicts())
+        (span,) = parent.finished()
+        assert span.parent_id is None
+
+
+class TestThreadSafety:
+    def test_concurrent_threads_nest_independently(self):
+        tracer = Tracer()
+        errors = []
+
+        def work(label):
+            try:
+                for _ in range(50):
+                    with tracer.span(f"outer.{label}"):
+                        with tracer.span(f"inner.{label}"):
+                            pass
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        spans = tracer.finished()
+        assert len(spans) == 4 * 50 * 2
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.name.startswith("inner."):
+                label = span.name.split(".", 1)[1]
+                parent = by_id[span.parent_id]
+                # Never parented across threads.
+                assert parent.name == f"outer.{label}"
+
+
+class TestNullPath:
+    def test_helpers_are_noops_without_observer(self):
+        assert not obs.is_enabled()
+        with obs.span("anything", x=1) as s:
+            s.set(y=2)
+        obs.count("c")
+        obs.gauge("g", 1.0)
+        obs.observe("h", 2.0)  # nothing raised, nothing recorded
+
+    def test_observed_restores_previous_state(self):
+        assert obs.active() is None
+        with obs.observed() as outer:
+            assert obs.active() is outer
+            with obs.observed() as inner:
+                assert obs.active() is inner
+            assert obs.active() is outer
+        assert obs.active() is None

@@ -181,6 +181,34 @@ class TestCaptureCache:
         with pytest.raises(ValueError, match="not a directory"):
             CaptureCache(clash)
 
+    def test_concurrent_puts_into_one_shard_do_not_race(self, tmp_path):
+        """Regression: shard-dir creation must tolerate concurrent writers.
+
+        Many threads store keys that all land in the same (fresh) shard
+        directory, so every writer races to create it; ``_ensure_dir``'s
+        ``exist_ok`` + re-check must make them all succeed.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = CaptureCache(tmp_path / "c")
+        keys = [f"aa{i:062x}" for i in range(16)]  # same "aa" shard
+
+        def store(key):
+            CaptureCache(tmp_path / "c").put(key, _payload())
+            return key
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            done = list(pool.map(store, keys))
+        assert sorted(done) == sorted(keys)
+        cache.clear_memory()
+        for key in keys:
+            assert cache.get(key) is not None, key
+
+    def test_constructor_creates_cache_dir_eagerly(self, tmp_path):
+        target = tmp_path / "deep" / "fleet"
+        CaptureCache(target)
+        assert target.is_dir()
+
     def test_stats_reset(self):
         cache = CaptureCache()
         cache.get("missing")
