@@ -230,6 +230,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_stability)
 
     p = sub.add_parser(
+        "lint",
+        help="AST-based determinism & invariant linter "
+        "(rules in ARCHITECTURE.md 'Invariants')",
+    )
+    from .lint.cli import configure_parser as _configure_lint
+
+    _configure_lint(p)
+    p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
         "report",
         help="render a recorded trace/metrics pair as timing and "
         "cache-efficiency tables",
@@ -249,6 +259,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_report)
 
     return parser
+
+
+def _cmd_lint(args) -> None:
+    from .lint.cli import run as lint_run
+
+    code = lint_run(args)
+    if code:
+        raise SystemExit(code)
 
 
 def _cmd_report(args) -> None:

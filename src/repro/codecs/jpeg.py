@@ -112,9 +112,8 @@ def _bit_size(value: int) -> int:
 def _encode_coefficient_bits(writer: BitWriter, value: int, size: int) -> None:
     if size == 0:
         return
-    if value < 0:
-        value += (1 << size) - 1
-    writer.write_bits(value, size)
+    coded = value + (1 << size) - 1 if value < 0 else value
+    writer.write_bits(coded, size)
 
 
 def _decode_coefficient_bits(reader: BitReader, size: int) -> int:

@@ -42,7 +42,10 @@ class Codec:
         return self.decode(self.encode(image, **params))
 
 
-_REGISTRY: Dict[str, Codec] = {}
+# Populated only by the register_codec calls at the bottom of this module
+# (import time), so every process — parent or spawned worker — sees the
+# identical read-only mapping.
+_REGISTRY: Dict[str, Codec] = {}  # lint: disable=PROC001
 
 
 def _instrumented(codec: Codec) -> Codec:

@@ -38,9 +38,13 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
 
 
 def format_series(series: Dict[object, float], percent: bool = True) -> str:
-    """Render a keyed series (e.g. per-class instability) as lines."""
+    """Render a keyed series (e.g. per-class instability) as lines.
+
+    Keys are emitted in sorted (stringified) order so the rendered
+    report is independent of how the series dict was built.
+    """
     lines: List[str] = []
-    for key, value in series.items():
+    for key, value in sorted(series.items(), key=lambda kv: str(kv[0])):
         rendered = format_percent(value) if percent else f"{value:.4f}"
         lines.append(f"  {key}: {rendered}")
     return "\n".join(lines)

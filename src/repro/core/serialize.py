@@ -45,9 +45,17 @@ def result_to_json(result: ExperimentResult) -> str:
 
 
 def _jsonable(value):
-    """Coerce metadata values to JSON-representable types."""
+    """Coerce metadata values to JSON-representable types.
+
+    Dict keys are stringified and sorted so serialized output is
+    byte-identical no matter how (or in what order) the metadata dict
+    was assembled.
+    """
     if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
+        return {
+            str(k): _jsonable(v)
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     if isinstance(value, (str, bool)) or value is None:

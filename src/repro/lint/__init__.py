@@ -1,0 +1,55 @@
+"""Static analysis enforcing the repo's determinism & purity invariants.
+
+The reproduction's methodology only holds if instability comes from the
+*modeled* perturbation sources — sensor noise, ISP parameterization,
+codecs, OS decoders — never from hidden nondeterminism in our own code.
+PR 1 and PR 2 stated those invariants (identity-derived seeds,
+bit-identical serial vs. parallel runs, side-band-only observability)
+and spot-checked them with a handful of tests; this package enforces
+them mechanically, repo-wide, on every file, in CI.
+
+Zero dependencies beyond the stdlib ``ast`` module. The pieces:
+
+* :mod:`~repro.lint.registry` — rule registry with per-rule severity;
+* :mod:`~repro.lint.rules_determinism` — DET001 (global RNG), DET002
+  (wall clock / entropy), DET003 (hash-ordered iteration);
+* :mod:`~repro.lint.rules_purity` — MUT001 (parameter mutation), OBS001
+  (obs hook discipline), PROC001 (module-level mutable state);
+* :mod:`~repro.lint.engine` — shared-AST-cache file walker with inline
+  ``# lint: disable=RULE`` suppressions;
+* :mod:`~repro.lint.baseline` — committed grandfather list so the CI
+  gate (``python -m repro lint``) fails only on *new* findings;
+* :mod:`~repro.lint.cli` — the ``python -m repro lint`` front end.
+
+Programmatic use::
+
+    from repro.lint import lint_paths
+
+    report = lint_paths(["src/repro"], rules=("DET001",))
+    assert not report.findings, report.findings[0].render()
+"""
+
+from __future__ import annotations
+
+from .baseline import format_baseline, load_baseline, parse_baseline, write_baseline
+from .context import ModuleContext
+from .engine import LintEngine, LintReport, lint_paths
+from .findings import Finding, Severity
+from .registry import Rule, all_rules, get_rules, register
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "format_baseline",
+    "get_rules",
+    "lint_paths",
+    "load_baseline",
+    "parse_baseline",
+    "register",
+    "write_baseline",
+]

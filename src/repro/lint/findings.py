@@ -1,0 +1,61 @@
+"""Finding and severity types shared by the whole linter.
+
+A :class:`Finding` is one rule violation at one source location. The
+engine (:mod:`repro.lint.engine`) collects them, applies inline
+suppressions and the committed baseline, and the CLI renders what is
+left as ``file:line:col RULE message`` lines or JSON.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class Severity(enum.Enum):
+    """Per-rule severity: only ``ERROR`` findings fail the CI gate."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the display path (as the file was given to the engine);
+    ``rel`` is the scope key — the path relative to the linted package
+    root — which rules use for targeting and the baseline uses for
+    matching, so baselines stay valid when the checkout moves.
+    """
+
+    rule: str
+    path: str
+    rel: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        """The canonical one-line text form."""
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-representable form (for ``--format json``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "rel": self.rel,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity.value,
+        }
+
+    def sort_key(self):
+        return (self.rel, self.line, self.col, self.rule)

@@ -81,11 +81,14 @@ def stage_rows(spans: Sequence[Span]) -> List[List[str]]:
     grouped: Dict[str, List[float]] = {}
     for span in spans:
         grouped.setdefault(span.name, []).append(span.duration)
-    total_all = sum(sum(durations) for durations in grouped.values())
+    totals = {
+        name: sum(durations) for name, durations in sorted(grouped.items())
+    }
+    total_all = sum(totals.values())
     rows = []
-    for name in sorted(grouped, key=lambda n: -sum(grouped[n])):
+    for name in sorted(grouped, key=lambda n: -totals[n]):
         durations = sorted(grouped[name])
-        total = sum(durations)
+        total = totals[name]
         rows.append(
             [
                 name,

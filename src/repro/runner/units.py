@@ -167,8 +167,9 @@ def unit_cache_key(unit: CaptureUnit) -> str:
 # ----------------------------------------------------------------------
 #: Per-process Phone memo: profiles are frozen, Phones are stateless, so
 #: one instance per distinct profile per worker is safe and saves the
-#: ISP-pipeline construction on every unit.
-_PHONE_MEMO: Dict[str, Phone] = {}
+#: ISP-pipeline construction on every unit. Divergence between workers
+#: is speed-only — the memo never influences a payload bit.
+_PHONE_MEMO: Dict[str, Phone] = {}  # lint: disable=PROC001
 
 
 def _phone_for(profile: DeviceProfile) -> Phone:

@@ -1,0 +1,66 @@
+"""Serialized results and rendered reports are PYTHONHASHSEED-stable.
+
+The DET003 fixes sort dict iteration at every site feeding serialization
+or report ordering; this regression test proves the property end to end
+by re-running the same serialization in subprocesses with different hash
+seeds. The payload dicts are deliberately built by iterating a *set* of
+string keys, so insertion order genuinely varies across seeds — only the
+sorted iteration sites keep the output bytes identical.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_SCRIPT = """
+from repro.core.records import ExperimentResult, PredictionRecord
+from repro.core.report import format_series
+from repro.core.serialize import result_to_json
+
+# Set iteration order depends on PYTHONHASHSEED; the dicts below are
+# assembled in that varying order on purpose.
+keys = {"zeta", "alpha", "mid", "beta", "omega", "gamma"}
+metadata = {k: {"len": len(k), "tag": k.upper()} for k in keys}
+record = PredictionRecord(
+    environment="pixel3",
+    image_id=1,
+    true_label=0,
+    predicted_label=0,
+    confidence=0.5,
+    class_name="mug",
+    ranking=(0, 1, 2),
+    angle=0.0,
+    metadata=metadata,
+)
+print(result_to_json(ExperimentResult([record], name="hashseed")))
+print(format_series({k: len(k) / 10.0 for k in keys}))
+"""
+
+
+def _run(hashseed: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "PYTHONHASHSEED": hashseed,
+            "PATH": "/usr/bin:/bin",
+        },
+        check=True,
+    )
+    return result.stdout
+
+
+def test_output_identical_across_hash_seeds():
+    outputs = {_run(seed) for seed in ("0", "1", "42")}
+    assert len(outputs) == 1, "serialized output depends on PYTHONHASHSEED"
+    out = outputs.pop()
+    # Sanity: sorted metadata keys actually appear in sorted order.
+    assert out.index('"alpha"') < out.index('"beta"') < out.index('"zeta"')
+    # format_series lines are key-sorted too.
+    lines = [l.strip() for l in out.splitlines() if l.strip().startswith(("a", "b", "g", "m", "o", "z"))]
+    assert lines == sorted(lines)

@@ -1,0 +1,101 @@
+"""Baseline parsing, round-trip, budgets, and staleness reporting."""
+
+import pytest
+
+from repro.lint import (
+    format_baseline,
+    lint_paths,
+    load_baseline,
+    parse_baseline,
+    write_baseline,
+)
+
+VIOLATION = "import numpy as np\nx = np.random.rand(4)\n"
+TWO_VIOLATIONS = (
+    "import numpy as np\n"
+    "a = np.random.rand(4)\n"
+    "b = np.random.rand(4)\n"
+)
+
+
+def _write(tmp_path, source, rel="lab/mod.py"):
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+class TestParsing:
+    def test_comments_blanks_and_counts(self):
+        text = (
+            "# a justification\n"
+            "\n"
+            "lab/mod.py:DET001  # stray rand, tracked in #42\n"
+            "core/old.py:DET003:2\n"
+        )
+        assert parse_baseline(text) == {
+            ("lab/mod.py", "DET001"): 1,
+            ("core/old.py", "DET003"): 2,
+        }
+
+    def test_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_baseline("not a baseline entry\n")
+        with pytest.raises(ValueError):
+            parse_baseline("a.py:DET001:zero\n")
+        with pytest.raises(ValueError):
+            parse_baseline("a.py:DET001:0\n")
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.txt") == {}
+
+
+class TestRoundTrip:
+    def test_findings_to_baseline_and_back(self, tmp_path):
+        target = _write(tmp_path, TWO_VIOLATIONS)
+        report = lint_paths([target], root=tmp_path)
+        assert len(report.findings) == 2
+
+        baseline_file = tmp_path / "baseline.txt"
+        write_baseline(report.findings, baseline_file)
+        parsed = load_baseline(baseline_file)
+        assert parsed == {("lab/mod.py", "DET001"): 2}
+
+        again = lint_paths([target], root=tmp_path, baseline=parsed)
+        assert not again.findings
+        assert len(again.baselined) == 2
+        assert again.exit_code == 0
+
+    def test_format_emits_counts_and_comments(self, tmp_path):
+        target = _write(tmp_path, TWO_VIOLATIONS)
+        report = lint_paths([target], root=tmp_path)
+        text = format_baseline(report.findings)
+        assert "lab/mod.py:DET001:2" in text
+        assert text.startswith("#")
+
+
+class TestBudgets:
+    def test_excess_findings_beyond_count_still_fail(self, tmp_path):
+        target = _write(tmp_path, TWO_VIOLATIONS)
+        report = lint_paths(
+            [target], root=tmp_path, baseline={("lab/mod.py", "DET001"): 1}
+        )
+        assert len(report.baselined) == 1
+        assert len(report.findings) == 1
+        assert report.exit_code == 1
+
+    def test_new_finding_not_in_baseline_fails(self, tmp_path):
+        target = _write(tmp_path, VIOLATION)
+        report = lint_paths(
+            [target], root=tmp_path, baseline={("other.py", "DET001"): 1}
+        )
+        assert report.exit_code == 1
+        assert report.stale_baseline == (("other.py", "DET001", 1),)
+
+    def test_stale_entries_surface_after_fix(self, tmp_path):
+        target = _write(tmp_path, "x = 1\n")
+        report = lint_paths(
+            [target], root=tmp_path, baseline={("lab/mod.py", "DET001"): 2}
+        )
+        assert report.exit_code == 0
+        assert report.stale_baseline == (("lab/mod.py", "DET001", 2),)

@@ -6,26 +6,23 @@ module under ``src/repro`` may touch numpy's *global* random state
 Everything must flow through explicit ``default_rng`` generators or the
 runner's per-unit entropy derivation — the property the parallel
 executor's bit-identity guarantee rests on.
+
+Since the ``repro.lint`` subsystem landed, the audit delegates to its
+DET001 rule engine (AST-based, alias-aware, suppression-capable) rather
+than duplicating the check as a regex — the rule is the single source
+of truth and this test pins the repo to it.
 """
 
-import re
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.lint import lint_paths
 from repro.runner import derive_rng, unit_entropy
 from repro.runner.seeds import seed_component
 
 SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
-
-#: Legacy global-state numpy RNG calls, banned everywhere in src/.
-BANNED = re.compile(
-    r"np\.random\.(seed|rand|randn|randint|random_sample|choice|shuffle|"
-    r"permutation|normal|uniform|get_state|set_state)\b"
-    r"|numpy\.random\.(seed|rand|randn|randint)\b"
-    r"|\bRandomState\("
-)
 
 
 # ----------------------------------------------------------------------
@@ -72,22 +69,27 @@ class TestSeedDerivation:
 
 
 # ----------------------------------------------------------------------
-# source audit: no global numpy RNG state anywhere in src/repro
+# source audit: no global RNG state anywhere in src/repro, enforced by
+# the DET001 lint rule (the one place the RNG invariant is defined)
 # ----------------------------------------------------------------------
-def _source_files():
-    return sorted(SRC_ROOT.rglob("*.py"))
-
-
 def test_audit_finds_the_tree():
-    files = _source_files()
-    assert len(files) > 20, f"audit looked in the wrong place: {SRC_ROOT}"
+    report = lint_paths([SRC_ROOT], rules=("DET001",))
+    assert report.files > 20, f"audit looked in the wrong place: {SRC_ROOT}"
 
 
-@pytest.mark.parametrize("path", _source_files(), ids=lambda p: str(p.relative_to(SRC_ROOT)))
-def test_no_global_numpy_rng(path):
-    offenders = [
-        f"{path.name}:{lineno}: {line.strip()}"
-        for lineno, line in enumerate(path.read_text().splitlines(), start=1)
-        if BANNED.search(line)
-    ]
-    assert not offenders, "global numpy RNG state is banned:\n" + "\n".join(offenders)
+def test_no_global_rng_via_det001():
+    report = lint_paths([SRC_ROOT], rules=("DET001",))
+    offenders = [f.render() for f in report.findings]
+    assert not offenders, (
+        "global RNG state is banned (lint rule DET001):\n" + "\n".join(offenders)
+    )
+    # The delegation is to the real rule, not a stub: DET001 must still
+    # fire on a canary source the old regex would have caught.
+    from repro.lint.context import ModuleContext
+    from repro.lint.rules_determinism import NoGlobalRng
+
+    canary = ModuleContext.parse(
+        "canary.py", "lab/canary.py",
+        "import numpy as np\nnp.random.seed(0)\n",
+    )
+    assert list(NoGlobalRng().check(canary)), "DET001 lost its teeth"

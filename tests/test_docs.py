@@ -100,6 +100,17 @@ class TestCliExamplesParse:
         """Guard the extractor itself: the docs do contain CLI examples."""
         assert len(_all_doc_commands()) >= 5
 
+    def test_docs_quote_the_lint_gate(self):
+        """The lint gate is documented: at least one quoted
+        ``python -m repro lint`` command (README and/or ARCHITECTURE),
+        each of which the parametrized test below also parses."""
+        lint_commands = [
+            param.values[0]
+            for param in _all_doc_commands()
+            if param.values[0].startswith("python -m repro lint")
+        ]
+        assert lint_commands, "no doc quotes `python -m repro lint`"
+
     @pytest.mark.parametrize("command", _all_doc_commands())
     def test_command_parses(self, command):
         from repro.__main__ import build_parser
