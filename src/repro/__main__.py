@@ -240,6 +240,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
+        "bench",
+        help="micro/macro benchmarks of the kernel backends "
+        "(entropy coding, DCT, ISP, conv, capture pipeline)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink inputs for a CI smoke run (128x128 instead of 512x512)",
+    )
+    p.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing runs per case; the minimum is reported",
+    )
+    p.add_argument(
+        "--case",
+        action="append",
+        default=None,
+        dest="cases",
+        help="run only this case (repeatable); default is the full suite",
+    )
+    p.add_argument(
+        "--out",
+        type=str,
+        default="BENCH_kernels.json",
+        help="write the JSON report here",
+    )
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
         "report",
         help="render a recorded trace/metrics pair as timing and "
         "cache-efficiency tables",
@@ -267,6 +299,20 @@ def _cmd_lint(args) -> None:
     code = lint_run(args)
     if code:
         raise SystemExit(code)
+
+
+def _cmd_bench(args) -> None:
+    from .bench import format_report, run_bench, write_report
+
+    try:
+        report = run_bench(
+            quick=args.quick, repeats=args.repeats, only=args.cases, seed=args.seed
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro bench: {exc}") from exc
+    print(format_report(report))
+    write_report(report, args.out)
+    print(f"report written to {args.out}")
 
 
 def _cmd_report(args) -> None:

@@ -1,0 +1,124 @@
+"""Deterministic micro/macro benchmarks for the kernel dispatch layer.
+
+``python -m repro bench`` runs every case in :mod:`repro.bench.cases`
+and writes a JSON report (default ``BENCH_kernels.json``). Kernel-
+dispatched cases run under **both** ``repro.kernels`` backends and
+report the fast-vs-reference speedup; backend-independent cases (DCT,
+ISP, conv) run once under the key ``"default"``.
+
+Timing uses ``time.perf_counter`` (min over ``--repeats`` runs — the
+standard way to suppress scheduler noise). The *timed work* is fully
+deterministic: inputs come from seeded generators and the report
+contains measurements only, never wall-clock timestamps, so two runs
+differ only in the seconds columns.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from .. import kernels
+from .cases import BenchCase, build_cases
+
+__all__ = ["BenchCase", "build_cases", "run_bench", "format_report", "write_report"]
+
+
+def _time_once(fn, repeats: int) -> float:
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return float(best)
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: int = 3,
+    only: Optional[List[str]] = None,
+    seed: int = 0,
+) -> Dict:
+    """Run the benchmark suite; returns the JSON-serializable report."""
+    cases = build_cases(quick=quick, seed=seed)
+    if only:
+        unknown = sorted(set(only) - {c.name for c in cases})
+        if unknown:
+            known = ", ".join(c.name for c in cases)
+            raise ValueError(f"unknown bench case(s) {unknown}; known: {known}")
+        cases = [c for c in cases if c.name in only]
+
+    report: Dict = {"quick": quick, "repeats": repeats, "cases": {}}
+    for case in cases:
+        fn = case.prepare()
+        entry: Dict = {
+            "items": case.items,
+            "item_unit": case.item_unit,
+            "bytes": case.nbytes,
+            "backends": {},
+        }
+        backends = kernels.BACKENDS if case.dispatched else ("default",)
+        for backend in backends:
+            if case.dispatched:
+                with kernels.use_backend(backend):
+                    fn()  # warm caches (LUTs, code arrays) outside the clock
+                    seconds = _time_once(fn, repeats)
+            else:
+                fn()
+                seconds = _time_once(fn, repeats)
+            entry["backends"][backend] = {
+                "seconds": seconds,
+                "ops_per_s": case.items / seconds if seconds > 0 else None,
+                "mb_per_s": (
+                    case.nbytes / seconds / 1e6 if seconds > 0 else None
+                ),
+            }
+        if case.dispatched:
+            ref = entry["backends"]["reference"]["seconds"]
+            fst = entry["backends"]["fast"]["seconds"]
+            entry["speedup_fast_vs_reference"] = ref / fst if fst > 0 else None
+        report["cases"][case.name] = entry
+    return report
+
+
+def format_report(report: Dict) -> str:
+    """Render the report as an aligned text table."""
+    rows = []
+    for name, entry in report["cases"].items():
+        for backend, stats in entry["backends"].items():
+            rows.append(
+                [
+                    name,
+                    backend,
+                    f"{stats['seconds'] * 1e3:.2f} ms",
+                    f"{stats['ops_per_s']:,.0f} {entry['item_unit']}/s",
+                    f"{stats['mb_per_s']:.1f} MB/s",
+                    (
+                        f"{entry['speedup_fast_vs_reference']:.1f}x"
+                        if backend == "fast"
+                        and entry.get("speedup_fast_vs_reference")
+                        else ""
+                    ),
+                ]
+            )
+    headers = ["case", "backend", "time", "throughput", "bandwidth", "speedup"]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rows:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(r))))
+    return "\n".join(lines)
+
+
+def write_report(report: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -3,9 +3,18 @@
 ``BitWriter``/``BitReader`` operate MSB-first, matching the JPEG bitstream
 convention. The JPEG-specific 0xFF byte-stuffing lives here too, controlled
 by a flag, so the Huffman layer stays format-agnostic.
+
+Both classes buffer whole words: ``write_bits`` drains every complete byte
+of the accumulator in one ``int.to_bytes`` call, and ``read_bits`` refills
+the accumulator a byte at a time but extracts any request in a single
+shift — O(1) amortized per call instead of per bit. ``BitReader`` also
+exposes :meth:`BitReader.peek_window` for table-driven (LUT) Huffman
+decoders that need the next N bits without committing to consuming them.
 """
 
 from __future__ import annotations
+
+from typing import Optional, Tuple
 
 __all__ = ["BitWriter", "BitReader"]
 
@@ -36,13 +45,18 @@ class BitWriter:
             raise ValueError(f"value {value} does not fit in {nbits} bits")
         self._accum = (self._accum << nbits) | value
         self._nbits += nbits
-        while self._nbits >= 8:
-            self._nbits -= 8
-            byte = (self._accum >> self._nbits) & 0xFF
-            self._buffer.append(byte)
-            if self._stuff_ff and byte == 0xFF:
-                self._buffer.append(0x00)
-        self._accum &= (1 << self._nbits) - 1
+        if self._nbits >= 8:
+            nbytes = self._nbits >> 3
+            self._nbits &= 7
+            chunk = (self._accum >> self._nbits).to_bytes(nbytes, "big")
+            self._accum &= (1 << self._nbits) - 1
+            if self._stuff_ff and b"\xff" in chunk:
+                for byte in chunk:
+                    self._buffer.append(byte)
+                    if byte == 0xFF:
+                        self._buffer.append(0x00)
+            else:
+                self._buffer += chunk
 
     def flush(self, fill_bit: int = 1) -> None:
         """Pad the final partial byte with ``fill_bit`` (JPEG pads with 1s)."""
@@ -72,6 +86,12 @@ class BitReader:
         When True, a ``0x00`` byte following ``0xFF`` is skipped (JPEG
         entropy-coded-segment convention). A ``0xFF`` followed by anything
         else signals a marker; reading past it raises ``EOFError``.
+
+    The reader refills greedily (e.g. for :meth:`peek_window`) but defers
+    end-of-data errors: hitting the end of the buffer or a marker only
+    records the condition, and ``EOFError`` is raised at the moment a
+    read actually needs bits that are not there — the same call that
+    would have raised under byte-at-a-time pulling.
     """
 
     def __init__(self, data: bytes, unstuff_ff: bool = False) -> None:
@@ -80,39 +100,64 @@ class BitReader:
         self._accum = 0
         self._nbits = 0
         self._unstuff_ff = unstuff_ff
+        self._stop: Optional[str] = None
 
-    def _pull_byte(self) -> None:
-        if self._pos >= len(self._data):
-            raise EOFError("bitstream exhausted")
-        byte = self._data[self._pos]
-        self._pos += 1
-        if self._unstuff_ff and byte == 0xFF:
-            if self._pos >= len(self._data):
-                raise EOFError("truncated stuffing byte")
-            nxt = self._data[self._pos]
-            if nxt == 0x00:
-                self._pos += 1
-            else:
-                raise EOFError(f"hit marker 0xFF{nxt:02X} inside entropy data")
-        self._accum = (self._accum << 8) | byte
-        self._nbits += 8
+    def _refill(self, target: int) -> None:
+        """Pull bytes until ``target`` bits are buffered or input ends."""
+        data = self._data
+        end = len(data)
+        while self._nbits < target and self._stop is None:
+            if self._pos >= end:
+                self._stop = "bitstream exhausted"
+                break
+            byte = data[self._pos]
+            self._pos += 1
+            if self._unstuff_ff and byte == 0xFF:
+                if self._pos >= end:
+                    self._stop = "truncated stuffing byte"
+                    break
+                nxt = data[self._pos]
+                if nxt == 0x00:
+                    self._pos += 1
+                else:
+                    self._stop = f"hit marker 0xFF{nxt:02X} inside entropy data"
+                    break
+            self._accum = (self._accum << 8) | byte
+            self._nbits += 8
 
     def read_bit(self) -> int:
-        if self._nbits == 0:
-            self._pull_byte()
-        self._nbits -= 1
-        bit = (self._accum >> self._nbits) & 1
-        self._accum &= (1 << self._nbits) - 1
-        return bit
+        return self.read_bits(1)
 
     def read_bits(self, nbits: int) -> int:
         """Read ``nbits`` bits MSB-first and return them as an int."""
         if nbits < 0:
             raise ValueError("nbits must be non-negative")
-        value = 0
-        for _ in range(nbits):
-            value = (value << 1) | self.read_bit()
+        if nbits == 0:
+            return 0
+        if self._nbits < nbits:
+            self._refill(nbits)
+            if self._nbits < nbits:
+                raise EOFError(self._stop)
+        self._nbits -= nbits
+        value = self._accum >> self._nbits
+        self._accum &= (1 << self._nbits) - 1
         return value
+
+    def peek_window(self, nbits: int = 16) -> Tuple[int, int]:
+        """Look at the next ``nbits`` bits without consuming them.
+
+        Returns ``(window, avail)``: ``window`` is the upcoming bits
+        left-aligned in an ``nbits``-wide integer (zero-padded on the
+        right when fewer than ``nbits`` remain) and ``avail`` is how many
+        of those bits are real, capped at ``nbits``. Never raises; a
+        subsequent :meth:`read_bits` past ``avail`` reports the error.
+        """
+        if self._nbits < nbits:
+            self._refill(nbits)
+        avail = self._nbits
+        if avail >= nbits:
+            return (self._accum >> (avail - nbits)) & ((1 << nbits) - 1), nbits
+        return (self._accum << (nbits - avail)) & ((1 << nbits) - 1), avail
 
     @property
     def bits_remaining(self) -> int:

@@ -28,6 +28,9 @@ from ..imaging.image import ImageBuffer
 from .dct import block_dct, block_idct, blockify, unblockify
 from .jpeg import _pad_plane, _subsample_420, _upsample_2x_bilinear
 
+# Coefficient serialization and DEFLATE dispatch through repro.kernels.
+from .. import kernels
+
 __all__ = ["encode_heif", "decode_heif"]
 
 MAGIC = b"RPHF"
@@ -62,13 +65,13 @@ def _encode_plane(plane: np.ndarray, quant: np.ndarray) -> bytes:
     blocks = blockify(plane - 128.0, _BLOCK)
     coeffs = block_dct(blocks)
     quantized = _deadzone_quantize(coeffs, quant)
-    return struct.pack("<HH", *plane.shape) + quantized.astype("<i2").tobytes()
+    return struct.pack("<HH", *plane.shape) + kernels.pack_coefficients(quantized)
 
 
 def _decode_plane(data: bytes, quant: np.ndarray) -> tuple[np.ndarray, int]:
     h, w = struct.unpack("<HH", data[:4])
     count = (h // _BLOCK) * (w // _BLOCK) * _BLOCK * _BLOCK
-    quantized = np.frombuffer(data[4 : 4 + 2 * count], dtype="<i2").astype(np.float64)
+    quantized = kernels.unpack_coefficients(data[4 : 4 + 2 * count]).astype(np.float64)
     coeffs = quantized.reshape(-1, _BLOCK, _BLOCK) * quant[None]
     spatial = block_idct(coeffs) + 128.0
     return np.clip(unblockify(spatial, h, w), 0.0, 255.0), 4 + 2 * count
@@ -90,7 +93,7 @@ def encode_heif(image: ImageBuffer, quality: int = 80) -> bytes:
         + _encode_plane(cr, chroma_q)
     )
     header = MAGIC + struct.pack("<HHB", image.width, image.height, quality)
-    return header + zlib.compress(payload, 6)
+    return header + kernels.entropy_deflate(payload, 6)
 
 
 def decode_heif(data: bytes) -> ImageBuffer:
@@ -98,7 +101,7 @@ def decode_heif(data: bytes) -> ImageBuffer:
     if data[:4] != MAGIC:
         raise ValueError("not an RPHF (heif-like) stream")
     width, height, quality = struct.unpack("<HHB", data[4:9])
-    payload = zlib.decompress(data[9:])
+    payload = kernels.entropy_inflate(data[9:])
 
     luma_q = _quant_matrix(quality, chroma=False)
     chroma_q = _quant_matrix(quality, chroma=True)

@@ -11,7 +11,9 @@ are included as module constants.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .bitio import BitReader, BitWriter
 
@@ -55,6 +57,10 @@ class HuffmanTable:
                 k += 1
             code <<= 1
 
+        # Lazily-built acceleration structures for the fast kernels.
+        self._encode_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._peek_table: Optional[List[int]] = None
+
     # ------------------------------------------------------------------
     def encode_symbol(self, writer: BitWriter, symbol: int) -> None:
         """Append the code for ``symbol`` to ``writer``."""
@@ -79,6 +85,51 @@ class HuffmanTable:
             if symbol is not None:
                 return symbol
         raise ValueError("invalid Huffman code (no symbol within 16 bits)")
+
+    # ------------------------------------------------------------------
+    # Acceleration structures (built once per table, cached on instance)
+    # ------------------------------------------------------------------
+    def encode_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense ``(codes, lengths)`` int64 arrays indexed by symbol.
+
+        ``lengths[s] == 0`` marks a symbol absent from the table (no
+        valid JPEG code has length 0). Arrays are read-only so they can
+        be shared freely across vectorized encode calls.
+        """
+        if self._encode_arrays is None:
+            codes = np.zeros(256, dtype=np.int64)
+            lengths = np.zeros(256, dtype=np.int64)
+            for symbol, (code, length) in self._encode.items():
+                if not 0 <= symbol < 256:
+                    raise ValueError(f"symbol {symbol} outside byte range")
+                codes[symbol] = code
+                lengths[symbol] = length
+            codes.setflags(write=False)
+            lengths.setflags(write=False)
+            self._encode_arrays = (codes, lengths)
+        return self._encode_arrays
+
+    def peek_table(self) -> List[int]:
+        """A 65536-entry LUT mapping a 16-bit lookahead window to
+        ``(code_length << 8) | symbol``; 0 marks an invalid prefix.
+
+        Because the code is prefix-free, every 16-bit window starting
+        with a valid code maps to that code regardless of the trailing
+        bits — so a zero-padded window (near end of stream) still
+        resolves correctly whenever the true code fits in the bits that
+        remain.
+        """
+        if self._peek_table is None:
+            table = [0] * 65536
+            for (length, code), symbol in self._decode.items():
+                if not 0 <= symbol < 256:
+                    raise ValueError(f"symbol {symbol} outside byte range")
+                base = code << (16 - length)
+                entry = (length << 8) | symbol
+                for window in range(base, base + (1 << (16 - length))):
+                    table[window] = entry
+            self._peek_table = table
+        return self._peek_table
 
     # ------------------------------------------------------------------
     @classmethod

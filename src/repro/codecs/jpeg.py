@@ -22,13 +22,14 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..imaging.color import rgb_to_ycbcr, ycbcr_to_rgb
 from ..imaging.image import ImageBuffer
-from .bitio import BitReader, BitWriter
+from .bitio import BitReader
 from .dct import (
     block_dct,
     block_idct,
@@ -44,6 +45,12 @@ from .huffman import (
     STD_DC_LUMA,
     HuffmanTable,
 )
+
+# Entropy coding is dispatched through repro.kernels (reference or fast
+# backend, bit-identical). Imported as the package object and accessed by
+# attribute at call time so the codecs <-> kernels import cycle resolves
+# in either order.
+from .. import kernels
 
 __all__ = [
     "encode_jpeg",
@@ -84,11 +91,14 @@ BASE_CHROMA_QUANT = np.array(
 )
 
 
+@lru_cache(maxsize=None)
 def quality_scaled_tables(quality: int) -> Tuple[np.ndarray, np.ndarray]:
     """Scale the Annex K tables by the libjpeg/IJG quality convention.
 
     ``quality`` 1..100; 50 leaves the base tables unchanged, 100 gives
-    near-lossless (all ones at exactly 100).
+    near-lossless (all ones at exactly 100). Results are cached per
+    quality and returned read-only so the shared arrays cannot be
+    mutated through the cache.
     """
     if not 1 <= quality <= 100:
         raise ValueError("JPEG quality must be in 1..100")
@@ -96,96 +106,11 @@ def quality_scaled_tables(quality: int) -> Tuple[np.ndarray, np.ndarray]:
         scale = 5000 // quality
     else:
         scale = 200 - 2 * quality
-    luma = np.clip((BASE_LUMA_QUANT * scale + 50) // 100, 1, 255)
-    chroma = np.clip((BASE_CHROMA_QUANT * scale + 50) // 100, 1, 255)
-    return luma.astype(np.int64), chroma.astype(np.int64)
-
-
-# ----------------------------------------------------------------------
-# Entropy coding helpers
-# ----------------------------------------------------------------------
-def _bit_size(value: int) -> int:
-    """JPEG magnitude category: smallest s with |value| < 2^s."""
-    return int(abs(value)).bit_length()
-
-
-def _encode_coefficient_bits(writer: BitWriter, value: int, size: int) -> None:
-    if size == 0:
-        return
-    coded = value + (1 << size) - 1 if value < 0 else value
-    writer.write_bits(coded, size)
-
-
-def _decode_coefficient_bits(reader: BitReader, size: int) -> int:
-    if size == 0:
-        return 0
-    raw = reader.read_bits(size)
-    if raw < (1 << (size - 1)):
-        raw -= (1 << size) - 1
-    return raw
-
-
-def _encode_block(
-    writer: BitWriter,
-    coeffs_zz: np.ndarray,
-    dc_pred: int,
-    dc_table: HuffmanTable,
-    ac_table: HuffmanTable,
-) -> int:
-    """Entropy-code one zig-zag-ordered quantized block; returns new DC."""
-    dc = int(coeffs_zz[0])
-    diff = dc - dc_pred
-    size = _bit_size(diff)
-    dc_table.encode_symbol(writer, size)
-    _encode_coefficient_bits(writer, diff, size)
-
-    run = 0
-    last_nonzero = int(np.max(np.nonzero(coeffs_zz)[0])) if np.any(coeffs_zz[1:]) else 0
-    for idx in range(1, 64):
-        val = int(coeffs_zz[idx])
-        if val == 0:
-            run += 1
-            continue
-        while run >= 16:
-            ac_table.encode_symbol(writer, 0xF0)  # ZRL
-            run -= 16
-        size = _bit_size(val)
-        ac_table.encode_symbol(writer, (run << 4) | size)
-        _encode_coefficient_bits(writer, val, size)
-        run = 0
-        if idx == last_nonzero:
-            break
-    if last_nonzero < 63:
-        ac_table.encode_symbol(writer, 0x00)  # EOB
-    return dc
-
-
-def _decode_block(
-    reader: BitReader,
-    dc_pred: int,
-    dc_table: HuffmanTable,
-    ac_table: HuffmanTable,
-) -> Tuple[np.ndarray, int]:
-    """Decode one block into zig-zag order; returns (coeffs, new DC)."""
-    coeffs = np.zeros(64, dtype=np.int64)
-    size = dc_table.decode_symbol(reader)
-    dc = dc_pred + _decode_coefficient_bits(reader, size)
-    coeffs[0] = dc
-    idx = 1
-    while idx < 64:
-        symbol = ac_table.decode_symbol(reader)
-        if symbol == 0x00:  # EOB
-            break
-        if symbol == 0xF0:  # ZRL
-            idx += 16
-            continue
-        run, size = symbol >> 4, symbol & 0x0F
-        idx += run
-        if idx >= 64:
-            raise ValueError("AC run overflows block")
-        coeffs[idx] = _decode_coefficient_bits(reader, size)
-        idx += 1
-    return coeffs, dc
+    luma = np.clip((BASE_LUMA_QUANT * scale + 50) // 100, 1, 255).astype(np.int64)
+    chroma = np.clip((BASE_CHROMA_QUANT * scale + 50) // 100, 1, 255).astype(np.int64)
+    luma.setflags(write=False)
+    chroma.setflags(write=False)
+    return luma, chroma
 
 
 # ----------------------------------------------------------------------
@@ -193,7 +118,7 @@ def _decode_block(
 # ----------------------------------------------------------------------
 def _plane_to_quantized_blocks(plane: np.ndarray, quant: np.ndarray) -> np.ndarray:
     """Level-shift, DCT, and quantize a padded plane into zig-zag blocks."""
-    blocks = blockify(plane.astype(np.float64) - 128.0, 8)
+    blocks = blockify(np.asarray(plane, dtype=np.float64) - 128.0, 8)
     coeffs = block_dct(blocks)
     quantized = np.round(coeffs / quant[None]).astype(np.int64)
     zz = zigzag_order(8)
@@ -234,9 +159,16 @@ def _pad_plane(plane: np.ndarray, multiple: int) -> np.ndarray:
 
 
 def _subsample_420(plane: np.ndarray) -> np.ndarray:
-    """2x2 box-average chroma downsampling (even dims required)."""
-    h, w = plane.shape
-    return plane.reshape(h // 2, 2, w // 2, 2).mean(axis=(1, 3))
+    """2x2 box-average chroma downsampling (even dims required).
+
+    The explicit sum reproduces ``.mean(axis=(1, 3))`` bit-for-bit
+    (same reduce order, and ``* 0.25`` is exact) at half the cost.
+    """
+    a = plane[0::2, 0::2]
+    b = plane[0::2, 1::2]
+    c = plane[1::2, 0::2]
+    d = plane[1::2, 1::2]
+    return ((a + b) + (c + d)) * 0.25
 
 
 def _upsample_2x_nearest(plane: np.ndarray) -> np.ndarray:
@@ -314,7 +246,7 @@ def encode_jpeg(
     luma_q, chroma_q = quality_scaled_tables(quality)
 
     rgb255 = image.to_uint8().astype(np.float64)
-    ycc = rgb_to_ycbcr(rgb255 / 255.0).astype(np.float64)
+    ycc = np.asarray(rgb_to_ycbcr(rgb255 / 255.0), dtype=np.float64)
     y_plane = ycc[..., 0] * 255.0
     cb_plane = ycc[..., 1] * 255.0 + 128.0
     cr_plane = ycc[..., 2] * 255.0 + 128.0
@@ -339,41 +271,17 @@ def encode_jpeg(
     cb_blocks = _plane_to_quantized_blocks(cb_pad, chroma_q)
     cr_blocks = _plane_to_quantized_blocks(cr_pad, chroma_q)
 
-    y_bw = y_pad.shape[1] // 8  # luma blocks per row
-    c_bw = cb_pad.shape[1] // 8
-
-    writer = BitWriter(stuff_ff=True)
-    dc = [0, 0, 0]
     mcu_rows = y_pad.shape[0] // mcu
     mcu_cols = y_pad.shape[1] // mcu
-    for mr in range(mcu_rows):
-        for mc in range(mcu_cols):
-            if subsampling == "4:2:0":
-                for dy in range(2):
-                    for dx in range(2):
-                        idx = (mr * 2 + dy) * y_bw + (mc * 2 + dx)
-                        dc[0] = _encode_block(
-                            writer, y_blocks[idx], dc[0], STD_DC_LUMA, STD_AC_LUMA
-                        )
-                c_idx = mr * c_bw + mc
-                dc[1] = _encode_block(
-                    writer, cb_blocks[c_idx], dc[1], STD_DC_CHROMA, STD_AC_CHROMA
-                )
-                dc[2] = _encode_block(
-                    writer, cr_blocks[c_idx], dc[2], STD_DC_CHROMA, STD_AC_CHROMA
-                )
-            else:
-                idx = mr * y_bw + mc
-                dc[0] = _encode_block(
-                    writer, y_blocks[idx], dc[0], STD_DC_LUMA, STD_AC_LUMA
-                )
-                dc[1] = _encode_block(
-                    writer, cb_blocks[idx], dc[1], STD_DC_CHROMA, STD_AC_CHROMA
-                )
-                dc[2] = _encode_block(
-                    writer, cr_blocks[idx], dc[2], STD_DC_CHROMA, STD_AC_CHROMA
-                )
-    writer.flush(fill_bit=1)
+    samplings = ((h_samp, v_samp), (1, 1), (1, 1))
+    comp_of_unit, block_of_unit = kernels.scan_layout(mcu_rows, mcu_cols, samplings)
+    entropy = kernels.encode_jpeg_scan(
+        (y_blocks, cb_blocks, cr_blocks),
+        comp_of_unit,
+        block_of_unit,
+        (STD_DC_LUMA, STD_DC_CHROMA, STD_DC_CHROMA),
+        (STD_AC_LUMA, STD_AC_CHROMA, STD_AC_CHROMA),
+    )
 
     sof = struct.pack(
         ">BHHB", 8, height, width, 3
@@ -397,7 +305,7 @@ def encode_jpeg(
     out += _dht_segment(0, 1, STD_DC_CHROMA)
     out += _dht_segment(1, 1, STD_AC_CHROMA)
     out += _segment(0xDA, sos)
-    out += writer.getvalue()
+    out += entropy
     out += b"\xff\xd9"  # EOI
     return bytes(out)
 
@@ -534,23 +442,23 @@ def decode_jpeg(data: bytes, options: JpegDecodeOptions | None = None) -> ImageB
             "quant": quant_tables[tq],
             "dc_table": huff_tables[(0, dc_id)],
             "ac_table": huff_tables[(1, ac_id)],
-            "blocks": np.zeros((blocks_h * blocks_w, 64), dtype=np.int64),
+            "n_blocks": blocks_h * blocks_w,
             "blocks_w": blocks_w,
-            "pred": 0,
         }
 
-    for mr in range(mcu_rows):
-        for mc in range(mcu_cols):
-            for cid, h_s, v_s, _tq in comps:
-                info = comp_info[cid]
-                for dy in range(v_s):
-                    for dx in range(h_s):
-                        coeffs, info["pred"] = _decode_block(
-                            reader, info["pred"], info["dc_table"], info["ac_table"]
-                        )
-                        row = mr * v_s + dy
-                        col = mc * h_s + dx
-                        info["blocks"][row * info["blocks_w"] + col] = coeffs
+    order = [cid for cid, _h, _v, _tq in comps]
+    samplings = tuple((h_s, v_s) for _cid, h_s, v_s, _tq in comps)
+    comp_of_unit, block_of_unit = kernels.scan_layout(mcu_rows, mcu_cols, samplings)
+    decoded = kernels.decode_jpeg_scan(
+        reader,
+        comp_of_unit,
+        block_of_unit,
+        [comp_info[cid]["dc_table"] for cid in order],
+        [comp_info[cid]["ac_table"] for cid in order],
+        [comp_info[cid]["n_blocks"] for cid in order],
+    )
+    for ci, cid in enumerate(order):
+        comp_info[cid]["blocks"] = decoded[ci]
 
     planes = {}
     for cid, info in comp_info.items():

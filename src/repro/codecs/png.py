@@ -20,6 +20,11 @@ import numpy as np
 
 from ..imaging.image import ImageBuffer
 
+# Filtering and DEFLATE dispatch through repro.kernels (reference or fast
+# backend, byte-identical). Imported as the package object so the
+# codecs <-> kernels import cycle resolves in either order.
+from .. import kernels
+
 __all__ = ["encode_png", "decode_png", "PNG_SIGNATURE"]
 
 PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
@@ -28,50 +33,6 @@ PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
 def _chunk(tag: bytes, payload: bytes) -> bytes:
     crc = zlib.crc32(tag + payload) & 0xFFFFFFFF
     return struct.pack(">I", len(payload)) + tag + payload + struct.pack(">I", crc)
-
-
-def _paeth_predictor(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
-    """Vectorized Paeth predictor over int16 arrays."""
-    p = a.astype(np.int16) + b.astype(np.int16) - c.astype(np.int16)
-    pa = np.abs(p - a)
-    pb = np.abs(p - b)
-    pc = np.abs(p - c)
-    out = np.where((pa <= pb) & (pa <= pc), a, np.where(pb <= pc, b, c))
-    return out.astype(np.uint8)
-
-
-def _filter_scanlines(raw: np.ndarray) -> bytes:
-    """Apply per-row adaptive filtering; returns the filtered byte stream.
-
-    ``raw`` is the ``(H, W*3)`` uint8 scanline matrix. For each row all five
-    filters are evaluated and the one minimizing the sum of absolute values
-    (interpreting bytes as signed) is chosen — the heuristic recommended by
-    the PNG specification and used by libpng.
-    """
-    height, rowbytes = raw.shape
-    bpp = 3
-    prev = np.zeros(rowbytes, dtype=np.uint8)
-    out = bytearray()
-    for r in range(height):
-        row = raw[r]
-        left = np.concatenate([np.zeros(bpp, dtype=np.uint8), row[:-bpp]])
-        upleft = np.concatenate([np.zeros(bpp, dtype=np.uint8), prev[:-bpp]])
-
-        candidates = (
-            row,  # None
-            (row.astype(np.int16) - left).astype(np.uint8),  # Sub
-            (row.astype(np.int16) - prev).astype(np.uint8),  # Up
-            (row.astype(np.int16) - ((left.astype(np.int16) + prev) // 2)).astype(np.uint8),  # Average
-            (row.astype(np.int16) - _paeth_predictor(left, prev, upleft)).astype(np.uint8),  # Paeth
-        )
-        costs = [
-            int(np.abs(c.astype(np.int8).astype(np.int32)).sum()) for c in candidates
-        ]
-        best = int(np.argmin(costs))
-        out.append(best)
-        out += candidates[best].tobytes()
-        prev = row
-    return bytes(out)
 
 
 def _unfilter_scanlines(filtered: bytes, height: int, rowbytes: int) -> np.ndarray:
@@ -119,8 +80,8 @@ def encode_png(image: ImageBuffer, compress_level: int = 6) -> bytes:
     rgb = image.to_uint8()
     height, width = rgb.shape[:2]
     raw = rgb.reshape(height, width * 3)
-    filtered = _filter_scanlines(raw)
-    idat = zlib.compress(filtered, compress_level)
+    filtered = kernels.png_filter_scanlines(raw)
+    idat = kernels.entropy_deflate(filtered, compress_level)
 
     ihdr = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)
     return (
@@ -162,7 +123,7 @@ def decode_png(data: bytes, verify_crc: bool = True) -> ImageBuffer:
             break
     if width is None or height is None:
         raise ValueError("missing IHDR")
-    filtered = zlib.decompress(bytes(idat))
+    filtered = kernels.entropy_inflate(bytes(idat))
     raw = _unfilter_scanlines(filtered, height, width * 3)
     rgb = raw.reshape(height, width, 3)
     return ImageBuffer.from_uint8(rgb)

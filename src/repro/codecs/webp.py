@@ -29,6 +29,9 @@ from ..imaging.image import ImageBuffer
 from .dct import block_dct, block_idct
 from .jpeg import _pad_plane, _subsample_420, _upsample_2x_bilinear
 
+# Coefficient serialization and DEFLATE dispatch through repro.kernels.
+from .. import kernels
+
 __all__ = ["encode_webp", "decode_webp"]
 
 MAGIC = b"RPWB"
@@ -106,7 +109,7 @@ def _encode_plane(plane: np.ndarray, step: float) -> Tuple[bytes, np.ndarray]:
                 by * _BLOCK : (by + 1) * _BLOCK, bx * _BLOCK : (bx + 1) * _BLOCK
             ] = np.clip(rec_block, 0.0, 255.0)
             modes.append(best_mode)
-    coeff_bytes = np.concatenate(coeffs_out).astype("<i2").tobytes()
+    coeff_bytes = kernels.pack_coefficients(np.concatenate(coeffs_out))
     return bytes(modes) + coeff_bytes, recon
 
 
@@ -145,7 +148,7 @@ def encode_webp(image: ImageBuffer, quality: int = 75) -> bytes:
         payload += encoded
 
     header = MAGIC + struct.pack("<HHB", image.width, image.height, quality)
-    return header + zlib.compress(bytes(payload), 6)
+    return header + kernels.entropy_deflate(bytes(payload), 6)
 
 
 def decode_webp(data: bytes) -> ImageBuffer:
@@ -153,7 +156,7 @@ def decode_webp(data: bytes) -> ImageBuffer:
     if data[:4] != MAGIC:
         raise ValueError("not an RPWB (webp-like) stream")
     width, height, quality = struct.unpack("<HHB", data[4:9])
-    payload = zlib.decompress(data[9:])
+    payload = kernels.entropy_inflate(data[9:])
 
     y_step = _quality_to_step(quality, chroma=False)
     c_step = _quality_to_step(quality, chroma=True)
@@ -166,7 +169,7 @@ def decode_webp(data: bytes) -> ImageBuffer:
         pos += length
         n_blocks = (ph // _BLOCK) * (pw // _BLOCK)
         modes = chunk[:n_blocks]
-        coeffs = np.frombuffer(chunk[n_blocks:], dtype="<i2")
+        coeffs = kernels.unpack_coefficients(chunk[n_blocks:])
         planes.append(_decode_plane(modes, coeffs, ph, pw, step))
 
     y_plane, cb, cr = planes

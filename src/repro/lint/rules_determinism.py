@@ -125,11 +125,13 @@ class NoWallClock(Rule):
     name = "DET002"
     summary = (
         "no wall-clock/entropy (time.*, uuid, builtin hash()) in result "
-        "paths outside obs/"
+        "paths outside obs/ and bench/"
     )
 
     #: Observability is side-band by contract — timing belongs there.
-    exempt_prefixes = ("obs/",)
+    #: bench/ is the same kind of side-band: it measures durations and
+    #: never feeds them into experiment results.
+    exempt_prefixes = ("obs/", "bench/")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if ctx.rel.startswith(self.exempt_prefixes):

@@ -39,12 +39,12 @@ class NoArgumentMutation(Rule):
     name = "MUT001"
     summary = (
         "no in-place mutation of parameters (x *= ..., x[...] = ..., "
-        "out=x) in isp/stages.py, codecs/, imaging/"
+        "out=x) in isp/stages.py, codecs/, imaging/, kernels/"
     )
 
     #: The referentially transparent layers the capture cache relies on.
     scope = ("isp/stages.py",)
-    scope_prefixes = ("codecs/", "imaging/")
+    scope_prefixes = ("codecs/", "imaging/", "kernels/")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if ctx.rel not in self.scope and not ctx.rel.startswith(

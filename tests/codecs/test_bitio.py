@@ -116,3 +116,73 @@ def test_stuffed_roundtrip(raw):
     r = BitReader(w.getvalue(), unstuff_ff=True)
     out = bytes(r.read_bits(8) for _ in range(len(raw)))
     assert out == raw
+
+
+class TestPeekWindow:
+    def test_peek_does_not_consume(self):
+        r = BitReader(b"\xab\xcd")
+        window, avail = r.peek_window(16)
+        assert (window, avail) == (0xABCD, 16)
+        assert r.read_bits(16) == 0xABCD
+
+    def test_peek_narrow_window(self):
+        r = BitReader(b"\xf0")
+        window, avail = r.peek_window(4)
+        assert (window, avail) == (0xF, 4)
+        assert r.read_bits(8) == 0xF0
+
+    def test_peek_after_partial_read(self):
+        r = BitReader(b"\xab\xcd\xef")
+        r.read_bits(4)
+        window, avail = r.peek_window(16)
+        assert (window, avail) == (0xBCDE, 16)
+
+    def test_peek_short_stream_zero_pads_right(self):
+        r = BitReader(b"\xab")
+        window, avail = r.peek_window(16)
+        assert avail == 8
+        assert window == 0xAB00  # real bits left-aligned, zero-padded
+
+    def test_peek_at_eof_is_empty_not_raising(self):
+        r = BitReader(b"\x55")
+        assert r.read_bits(8) == 0x55
+        window, avail = r.peek_window(16)
+        assert (window, avail) == (0, 0)
+        with pytest.raises(EOFError):
+            r.read_bits(1)
+
+    def test_peek_sees_through_stuffing(self):
+        r = BitReader(b"\xff\x00\x12", unstuff_ff=True)
+        window, avail = r.peek_window(16)
+        assert (window, avail) == (0xFF12, 16)
+
+    def test_peek_before_marker_returns_prefix(self):
+        # 8 real bits, then a marker: peek surfaces what exists, the
+        # overrunning read raises exactly as the bit-serial reader did.
+        r = BitReader(b"\x34\xff\xd9", unstuff_ff=True)
+        window, avail = r.peek_window(16)
+        assert (window, avail) == (0x3400, 8)
+        assert r.read_bits(8) == 0x34
+        with pytest.raises(EOFError, match="0xFFD9"):
+            r.read_bits(1)
+
+    def test_peek_idempotent(self):
+        r = BitReader(b"\x9a\xbc")
+        assert r.peek_window(16) == r.peek_window(16)
+
+
+@given(st.binary(min_size=0, max_size=32), st.integers(0, 40))
+@settings(max_examples=100, deadline=None)
+def test_peek_window_matches_read_bits(data, skip):
+    ref = BitReader(data)
+    try:
+        ref.read_bits(skip)
+    except EOFError:
+        return
+    window, avail = ref.peek_window(16)
+    assert 0 <= avail <= 16
+    checker = BitReader(data)
+    checker.read_bits(skip)
+    if avail:
+        assert checker.read_bits(avail) == window >> (16 - avail)
+    assert window & ((1 << (16 - avail)) - 1) == 0

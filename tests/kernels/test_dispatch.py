@@ -1,0 +1,94 @@
+"""Backend-selection semantics of :mod:`repro.kernels`.
+
+The dispatch precedence is explicit argument > set_backend/use_backend >
+``REPRO_KERNELS`` > default; every layer is exercised here, plus the
+observability counters each entry point must emit.
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels, obs
+from repro.codecs.huffman import STD_AC_LUMA, STD_DC_LUMA
+
+
+@pytest.fixture(autouse=True)
+def _clear_override():
+    """Each test starts (and ends) with no process-local override."""
+    kernels.set_backend(None)
+    yield
+    kernels.set_backend(None)
+
+
+def test_default_backend(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    assert kernels.current_backend() == kernels.DEFAULT_BACKEND == "fast"
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "reference")
+    assert kernels.current_backend() == "reference"
+
+
+def test_env_var_invalid_name_raises(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "simd")
+    with pytest.raises(ValueError, match="unknown kernels backend"):
+        kernels.current_backend()
+
+
+def test_set_backend_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "fast")
+    kernels.set_backend("reference")
+    assert kernels.current_backend() == "reference"
+    kernels.set_backend(None)
+    assert kernels.current_backend() == "fast"
+
+
+def test_set_backend_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown kernels backend"):
+        kernels.set_backend("gpu")
+
+
+def test_explicit_argument_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "fast")
+    kernels.set_backend("fast")
+    assert kernels.resolve_backend("reference") == "reference"
+
+
+def test_use_backend_nests_and_restores(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    assert kernels.current_backend() == "fast"
+    with kernels.use_backend("reference"):
+        assert kernels.current_backend() == "reference"
+        with kernels.use_backend("fast"):
+            assert kernels.current_backend() == "fast"
+        assert kernels.current_backend() == "reference"
+    assert kernels.current_backend() == "fast"
+
+
+def test_use_backend_restores_on_error(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    with pytest.raises(RuntimeError):
+        with kernels.use_backend("reference"):
+            raise RuntimeError("boom")
+    assert kernels.current_backend() == "fast"
+
+
+def test_available_backends():
+    assert kernels.available_backends() == ("reference", "fast")
+
+
+def test_entry_points_emit_backend_counters():
+    blocks = np.zeros((4, 64), dtype=np.int64)
+    comp, block = kernels.scan_layout(2, 2, ((1, 1),))
+    with obs.observed() as ob:
+        kernels.encode_jpeg_scan(
+            [blocks], comp, block, (STD_DC_LUMA,), (STD_AC_LUMA,), backend="reference"
+        )
+        kernels.entropy_deflate(b"abc", 6, backend="fast")
+    metrics = ob.metrics
+    assert metrics.counter_value("kernels.backend.reference") == 1
+    assert metrics.counter_value("kernels.backend.fast") == 1
+    assert metrics.counter_value("kernels.jpeg.units_encoded") == 4
+    assert metrics.counter_value("kernels.jpeg.bytes_encoded") > 0
+    assert metrics.counter_value("kernels.deflate.bytes_in") == 3

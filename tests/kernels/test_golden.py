@@ -1,0 +1,69 @@
+"""Golden byte-hash regression for every codec, under both backends.
+
+A fixed seeded image is encoded with each codec; the SHA-256 of the
+byte stream is pinned in ``tests/data/golden_codecs.json``. This is the
+tripwire for silent encode drift: a vectorization changing one bit of
+output fails here before it can shift the paper's reproduced numbers
+(capture hashes feed the instability analysis directly).
+
+Regenerate intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/kernels/test_golden.py --regen-golden
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.codecs.heif import encode_heif
+from repro.codecs.jpeg import encode_jpeg
+from repro.codecs.png import encode_png
+from repro.codecs.webp import encode_webp
+from repro.imaging.image import ImageBuffer
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "data" / "golden_codecs.json"
+
+
+def _test_image() -> ImageBuffer:
+    """A deterministic 48x40 image with gradients, noise, and flat runs."""
+    rng = np.random.default_rng(2024)
+    base = np.add.outer(np.arange(48) * 2, np.arange(40) * 3)[..., None]
+    rgb = base + rng.integers(0, 32, size=(48, 40, 3))
+    rgb[10:20, 10:20] = 128  # flat patch: zero-run / EOB heavy
+    return ImageBuffer.from_uint8((rgb % 256).astype(np.uint8))
+
+
+def _encodings() -> dict:
+    image = _test_image()
+    return {
+        "jpeg_q85_420": encode_jpeg(image, quality=85, subsampling="4:2:0"),
+        "jpeg_q30_444": encode_jpeg(image, quality=30, subsampling="4:4:4"),
+        "png": encode_png(image),
+        "webp_q75": encode_webp(image, quality=75),
+        "heif_q80": encode_heif(image, quality=80),
+    }
+
+
+def test_backends_agree_per_codec():
+    with kernels.use_backend("reference"):
+        ref = _encodings()
+    with kernels.use_backend("fast"):
+        fast = _encodings()
+    for name in ref:
+        assert ref[name] == fast[name], f"{name}: backends diverge"
+
+
+def test_golden_codec_hashes(regen_golden):
+    digests = {
+        name: hashlib.sha256(data).hexdigest()
+        for name, data in sorted(_encodings().items())
+    }
+    if regen_golden:
+        GOLDEN_PATH.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+        pytest.skip("golden codec hashes regenerated")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert digests == golden
