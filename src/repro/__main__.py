@@ -9,6 +9,8 @@ Usage::
     python -m repro isp --per-class 10
     python -m repro raw-vs-jpeg --per-class 10
     python -m repro stability --per-class 12 --epochs 6
+    python -m repro fleet --fleet-size 1000 --scenes 4 --workers 4
+    python -m repro fleet --study drift --fleet-size 200 --time-steps 8
     python -m repro end-to-end --trace-out trace.jsonl --metrics-out metrics.json
     python -m repro report --trace trace.jsonl --metrics metrics.json
 
@@ -137,6 +139,85 @@ def _cmd_raw_vs_jpeg(args) -> None:
     print(f"relative improvement:  {format_percent(out.relative_improvement())}")
 
 
+def _cmd_fleet(args) -> None:
+    import json
+
+    from .fleet import run_drift_study, run_population_study
+
+    payload = {}
+    if args.study in ("capture", "both"):
+        out = run_population_study(
+            fleet_size=args.fleet_size,
+            seed=args.seed,
+            scenes=args.scenes,
+            repeats=args.repeats,
+            workers=args.workers,
+            cache=_make_cache(args),
+            spill_dir=args.spill_dir,
+        )
+        summary = out.summary
+        payload["population"] = summary
+        vendors = {}
+        for device in out.devices:
+            vendors[device.vendor] = vendors.get(device.vendor, 0) + 1
+        print(f"fleet: {summary['devices']} devices, seed {args.seed}")
+        print("  " + ", ".join(f"{v}: {n}" for v, n in sorted(vendors.items())))
+        print(
+            f"records: {summary['records']} "
+            f"({args.scenes} scenes x {args.repeats} repeats)"
+        )
+        print(f"population instability: {format_percent(summary['population_instability'])}")
+        print(f"mean divergence:        {format_percent(summary['mean_divergence'])}")
+        for title, key in (
+            ("divergence", "divergence_percentiles"),
+            ("accuracy", "accuracy_percentiles"),
+            ("confidence", "confidence_percentiles"),
+        ):
+            cells = summary[key]
+            print(
+                f"{title} percentiles: "
+                + "  ".join(f"{p}={cells[p]:.4f}" for p in cells)
+            )
+        print(
+            f"outliers (|z| > {summary['outlier_threshold']}): "
+            f"{summary['outlier_count']}"
+        )
+        for row in summary["outliers"][:10]:
+            print(
+                f"  {row['name']}: divergence {format_percent(row['divergence'])} "
+                f"(z = {row['robust_z']:.2f})"
+            )
+    if args.study in ("drift", "both"):
+        out = run_drift_study(
+            fleet_size=args.fleet_size,
+            seed=args.seed,
+            steps=args.time_steps,
+            photos=args.photos,
+            image_format=args.format,
+            spill_dir=args.spill_dir,
+        )
+        payload["drift"] = {"steps": out.step_table, "summary": out.summary}
+        print(f"drift over {args.time_steps} steps ({args.format}, {args.photos} photos):")
+        print(
+            format_table(
+                ["step", "upgraded", "instability", "divergence"],
+                [
+                    [
+                        row["step"],
+                        format_percent(row["upgraded_fraction"]),
+                        format_percent(row["instability"]),
+                        format_percent(row["mean_divergence"]),
+                    ]
+                    for row in out.step_table
+                ],
+            )
+        )
+    if args.save:
+        with open(args.save, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"summary saved to {args.save}")
+
+
 def _cmd_stability(args) -> None:
     from .mitigation import build_stability_corpus, run_table6
     from .nn import load_pretrained
@@ -228,6 +309,73 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--epochs", type=int, default=6)
     p.set_defaults(func=_cmd_stability)
+
+    p = sub.add_parser(
+        "fleet",
+        help="population-scale studies on a synthetic device fleet",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--fleet-size",
+        type=int,
+        default=1000,
+        dest="fleet_size",
+        help="synthetic devices to sample from the vendor distributions",
+    )
+    p.add_argument(
+        "--scenes", type=int, default=4, help="displayed scenes every device shoots"
+    )
+    p.add_argument(
+        "--repeats", type=int, default=1, help="repeat shots per (device, scene)"
+    )
+    p.add_argument(
+        "--study",
+        choices=("capture", "drift", "both"),
+        default="capture",
+        help="capture = population instability percentiles + outliers; "
+        "drift = OS decoder upgrades over simulated time",
+    )
+    p.add_argument(
+        "--time-steps",
+        type=int,
+        default=6,
+        dest="time_steps",
+        help="simulated time steps for the drift study",
+    )
+    p.add_argument(
+        "--photos", type=int, default=40, help="drift-study photo corpus size"
+    )
+    p.add_argument(
+        "--format",
+        choices=("jpeg", "png"),
+        default="jpeg",
+        help="drift-study corpus encoding",
+    )
+    p.add_argument(
+        "--spill-dir",
+        type=str,
+        default=None,
+        dest="spill_dir",
+        help="spill record shards to this directory instead of holding "
+        "all records in memory",
+    )
+    p.add_argument("--save", type=str, default=None, help="save summary JSON here")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="capture worker processes (0 = serial, -1 = all cores); "
+        "results are bit-identical for every setting",
+    )
+    p.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        dest="cache_dir",
+        help="content-addressed capture cache directory (reused across runs)",
+    )
+    observability(p)
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
         "lint",

@@ -2,13 +2,25 @@
 
 from .os_sim import DECODER_FAMILIES, OSDecoderProfile, content_hash
 from .phone import Phone
-from .profiles import DeviceProfile, capture_fleet, firebase_fleet
+from .profiles import (
+    CAPTURE_SPECS,
+    FIREBASE_SPECS,
+    DeviceProfile,
+    DeviceSpec,
+    build_profile,
+    capture_fleet,
+    firebase_fleet,
+)
 from .runtime import DeviceRuntime, Prediction
 
 __all__ = [
+    "CAPTURE_SPECS",
     "DECODER_FAMILIES",
     "DeviceProfile",
     "DeviceRuntime",
+    "DeviceSpec",
+    "FIREBASE_SPECS",
+    "build_profile",
     "OSDecoderProfile",
     "Phone",
     "Prediction",

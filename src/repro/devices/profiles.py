@@ -1,10 +1,19 @@
-"""Device profiles: the paper's two phone fleets.
+"""Device profiles: the paper's two phone fleets, built from one factory.
 
 ``capture_fleet()`` builds the five phones of Table 1 (the end-to-end
 rig); ``firebase_fleet()`` builds the five phones of Table 5 (the
 OS/processor experiment). Each profile composes a sensor, optics, an ISP
 profile, a default save format, raw capability, and an OS decoder family
 — the axes §§4-7 of the paper vary.
+
+Construction is deduplicated through :class:`DeviceSpec` +
+:func:`build_profile`: a spec is the flat parameter record (every scalar
+knob a device has), the factory turns it into the nested
+:class:`DeviceProfile` dataclass tree. The paper's ten phones are plain
+spec tables (:data:`CAPTURE_SPECS`, :data:`FIREBASE_SPECS`), and the
+synthetic population generator in :mod:`repro.fleet` samples specs from
+per-vendor distributions and feeds them through the *same* factory — so
+the five paper phones are exactly a degenerate fixed population.
 
 Parameter choices follow each device's market tier: the Galaxy S10 and
 iPhone XR get clean large-photosite sensors, good optics, and raw
@@ -22,7 +31,15 @@ from ..sensor.optics import LensModel
 from ..sensor.sensor import SensorConfig
 from .os_sim import DECODER_FAMILIES, OSDecoderProfile
 
-__all__ = ["DeviceProfile", "capture_fleet", "firebase_fleet"]
+__all__ = [
+    "DeviceProfile",
+    "DeviceSpec",
+    "build_profile",
+    "CAPTURE_SPECS",
+    "FIREBASE_SPECS",
+    "capture_fleet",
+    "firebase_fleet",
+]
 
 
 @dataclass(frozen=True)
@@ -46,6 +63,50 @@ class DeviceProfile:
     soc: str = ""
 
 
+@dataclass(frozen=True)
+class DeviceSpec:
+    """The flat parameter record one device is built from.
+
+    Every field is a scalar (or a small tuple of scalars), which makes a
+    spec trivially samplable from per-vendor distributions, comparable,
+    and fingerprintable. :func:`build_profile` is the single place the
+    nested profile tree is assembled, shared by the paper's fixed fleets
+    and :func:`repro.fleet.generate_fleet`.
+    """
+
+    name: str
+    model_code: str
+    #: Per-channel spectral sensitivity relative to green.
+    sensitivity: Tuple[float, float, float]
+    #: Nominal exposure gain.
+    exposure: float
+    #: Effective full-well capacity in electrons (bigger = cleaner).
+    full_well: float
+    #: RMS read noise as a fraction of full scale.
+    read_noise: float
+    #: Corner brightness falloff (0 = none).
+    vignetting: float
+    #: Gaussian PSF sigma in pixels.
+    blur: float
+    #: Lateral chromatic aberration (relative radial magnification).
+    chroma_ab: float
+    #: Seeds the sensor's fixed-pattern (PRNU) component.
+    noise_seed: int
+    #: Mean dark signal as a fraction of full scale.
+    dark_current: float = 0.001
+    #: RMS of the fixed per-pixel gain error.
+    prnu: float = 0.005
+    pattern: str = "RGGB"
+    #: Name of the ISP profile in :mod:`repro.isp.profiles`.
+    isp: str = "imagemagick"
+    save_format: str = "jpeg"
+    save_quality: int = 90
+    supports_raw: bool = False
+    #: Key into :data:`repro.devices.os_sim.DECODER_FAMILIES`.
+    decoder_family: str = "mainline"
+    soc: str = ""
+
+
 def _sensor(
     sensitivity: Tuple[float, float, float],
     exposure: float,
@@ -56,6 +117,8 @@ def _sensor(
     chroma_ab: float,
     seed: int,
     pattern: str = "RGGB",
+    dark_current: float = 0.001,
+    prnu: float = 0.005,
 ) -> SensorConfig:
     return SensorConfig(
         resolution=(96, 96),
@@ -69,116 +132,143 @@ def _sensor(
         noise=SensorNoiseModel(
             full_well_electrons=full_well,
             read_noise=read_noise,
-            dark_current=0.001,
-            prnu=0.005,
+            dark_current=dark_current,
+            prnu=prnu,
             seed=seed,
         ),
     )
 
 
-def capture_fleet() -> List[DeviceProfile]:
-    """The five phones of the end-to-end experiment (paper Table 1)."""
-    return [
-        DeviceProfile(
-            name="samsung_galaxy_s10",
-            model_code="SM-G973U1",
-            sensor=_sensor(
-                sensitivity=(0.575, 1.0, 0.635),
-                exposure=0.855,
-                full_well=30000,
-                read_noise=0.0015,
-                vignetting=0.06,
-                blur=0.55,
-                chroma_ab=0.001,
-                seed=11,
-            ),
-            isp="samsung_s10",
-            save_format="jpeg",
-            save_quality=92,
-            supports_raw=True,
-        ),
-        DeviceProfile(
-            name="lg_k10_lte",
-            model_code="K425",
-            sensor=_sensor(
-                sensitivity=(0.565, 1.0, 0.625),
-                exposure=0.845,
-                full_well=15000,
-                read_noise=0.002,
-                vignetting=0.10,
-                blur=0.70,
-                chroma_ab=0.002,
-                seed=12,
-            ),
-            isp="lg_k10",
-            save_format="jpeg",
-            save_quality=85,
-        ),
-        DeviceProfile(
-            name="htc_desire_10_lifestyle",
-            model_code="DESIRE 10",
-            sensor=_sensor(
-                sensitivity=(0.568, 1.0, 0.628),
-                exposure=0.848,
-                full_well=17000,
-                read_noise=0.0018,
-                vignetting=0.09,
-                blur=0.65,
-                chroma_ab=0.0018,
-                seed=13,
-            ),
-            isp="htc_desire10",
-            save_format="jpeg",
-            save_quality=87,
-        ),
-        DeviceProfile(
-            name="motorola_moto_g5",
-            model_code="XT1670",
-            sensor=_sensor(
-                sensitivity=(0.57, 1.0, 0.63),
-                exposure=0.85,
-                full_well=19000,
-                read_noise=0.0017,
-                vignetting=0.08,
-                blur=0.62,
-                chroma_ab=0.0015,
-                seed=14,
-            ),
-            isp="moto_g5",
-            save_format="jpeg",
-            save_quality=88,
-        ),
-        DeviceProfile(
-            name="iphone_xr",
-            model_code="A1984",
-            sensor=_sensor(
-                sensitivity=(0.578, 1.0, 0.638),
-                exposure=0.858,
-                full_well=32000,
-                read_noise=0.0013,
-                vignetting=0.055,
-                blur=0.52,
-                chroma_ab=0.0008,
-                seed=15,
-            ),
-            isp="iphone_xr",
-            save_format="heif",
-            save_quality=68,
-            supports_raw=True,
-        ),
-    ]
+def build_profile(spec: DeviceSpec) -> DeviceProfile:
+    """Assemble a :class:`DeviceProfile` from its flat spec.
 
-
-def firebase_fleet() -> List[DeviceProfile]:
-    """The five phones of the OS/processor experiment (paper Table 5).
-
-    These phones never photograph anything — the experiment pushes a fixed
-    set of image files to each and runs inference — so only the OS decoder
-    family matters. Huawei and Xiaomi share a divergent JPEG decoder
-    build; Samsung, Pixel, and Sony share the mainline one, reproducing
-    the two MD5 camps the paper observed.
+    Pure: equal specs produce equal (and equally fingerprinted) profiles,
+    which is what lets generated fleets share capture-cache entries with
+    the paper fleets whenever their parameters coincide.
     """
-    base_sensor = _sensor(
+    if spec.decoder_family not in DECODER_FAMILIES:
+        raise KeyError(
+            f"unknown decoder family {spec.decoder_family!r}; "
+            f"available: {sorted(DECODER_FAMILIES)}"
+        )
+    sensor = _sensor(
+        sensitivity=spec.sensitivity,
+        exposure=spec.exposure,
+        full_well=spec.full_well,
+        read_noise=spec.read_noise,
+        vignetting=spec.vignetting,
+        blur=spec.blur,
+        chroma_ab=spec.chroma_ab,
+        seed=spec.noise_seed,
+        pattern=spec.pattern,
+        dark_current=spec.dark_current,
+        prnu=spec.prnu,
+    )
+    return DeviceProfile(
+        name=spec.name,
+        model_code=spec.model_code,
+        sensor=sensor,
+        isp=spec.isp,
+        save_format=spec.save_format,
+        save_quality=spec.save_quality,
+        supports_raw=spec.supports_raw,
+        os_decoder=DECODER_FAMILIES[spec.decoder_family],
+        soc=spec.soc,
+    )
+
+
+#: The five phones of the end-to-end experiment (paper Table 1).
+CAPTURE_SPECS: Tuple[DeviceSpec, ...] = (
+    DeviceSpec(
+        name="samsung_galaxy_s10",
+        model_code="SM-G973U1",
+        sensitivity=(0.575, 1.0, 0.635),
+        exposure=0.855,
+        full_well=30000,
+        read_noise=0.0015,
+        vignetting=0.06,
+        blur=0.55,
+        chroma_ab=0.001,
+        noise_seed=11,
+        isp="samsung_s10",
+        save_format="jpeg",
+        save_quality=92,
+        supports_raw=True,
+    ),
+    DeviceSpec(
+        name="lg_k10_lte",
+        model_code="K425",
+        sensitivity=(0.565, 1.0, 0.625),
+        exposure=0.845,
+        full_well=15000,
+        read_noise=0.002,
+        vignetting=0.10,
+        blur=0.70,
+        chroma_ab=0.002,
+        noise_seed=12,
+        isp="lg_k10",
+        save_format="jpeg",
+        save_quality=85,
+    ),
+    DeviceSpec(
+        name="htc_desire_10_lifestyle",
+        model_code="DESIRE 10",
+        sensitivity=(0.568, 1.0, 0.628),
+        exposure=0.848,
+        full_well=17000,
+        read_noise=0.0018,
+        vignetting=0.09,
+        blur=0.65,
+        chroma_ab=0.0018,
+        noise_seed=13,
+        isp="htc_desire10",
+        save_format="jpeg",
+        save_quality=87,
+    ),
+    DeviceSpec(
+        name="motorola_moto_g5",
+        model_code="XT1670",
+        sensitivity=(0.57, 1.0, 0.63),
+        exposure=0.85,
+        full_well=19000,
+        read_noise=0.0017,
+        vignetting=0.08,
+        blur=0.62,
+        chroma_ab=0.0015,
+        noise_seed=14,
+        isp="moto_g5",
+        save_format="jpeg",
+        save_quality=88,
+    ),
+    DeviceSpec(
+        name="iphone_xr",
+        model_code="A1984",
+        sensitivity=(0.578, 1.0, 0.638),
+        exposure=0.858,
+        full_well=32000,
+        read_noise=0.0013,
+        vignetting=0.055,
+        blur=0.52,
+        chroma_ab=0.0008,
+        noise_seed=15,
+        isp="iphone_xr",
+        save_format="heif",
+        save_quality=68,
+        supports_raw=True,
+    ),
+)
+
+
+def _firebase_spec(name: str, soc: str, decoder_family: str) -> DeviceSpec:
+    """One Table 5 phone: shared reference sensor, per-device decoder.
+
+    These phones never photograph anything — the experiment pushes fixed
+    image files and runs inference — so only the OS decoder family
+    matters; the sensor is a common placeholder.
+    """
+    return DeviceSpec(
+        name=name,
+        model_code=name.upper(),
         sensitivity=(0.57, 1.0, 0.63),
         exposure=0.85,
         full_well=25000,
@@ -186,25 +276,31 @@ def firebase_fleet() -> List[DeviceProfile]:
         vignetting=0.08,
         blur=0.6,
         chroma_ab=0.001,
-        seed=20,
+        noise_seed=20,
+        isp="imagemagick",
+        decoder_family=decoder_family,
+        soc=soc,
     )
-    mainline = DECODER_FAMILIES["mainline"]
-    vendor = DECODER_FAMILIES["vendor_neon"]
-    entries = [
-        ("samsung_galaxy_note8", "EXYNOS 9 OCTA 8895", mainline),
-        ("huawei_mate_rs", "HISILICON KIRIN 970", vendor),
-        ("pixel_2", "SNAPDRAGON 835", mainline),
-        ("sony_xz3", "SNAPDRAGON 845", mainline),
-        ("xiaomi_mi_8_pro", "HELIO G90T (MT6785T)", vendor),
-    ]
-    return [
-        DeviceProfile(
-            name=name,
-            model_code=name.upper(),
-            sensor=base_sensor,
-            isp="imagemagick",
-            os_decoder=decoder,
-            soc=soc,
-        )
-        for name, soc, decoder in entries
-    ]
+
+
+#: The five phones of the OS/processor experiment (paper Table 5).
+#: Huawei and Xiaomi share a divergent JPEG decoder build; Samsung,
+#: Pixel, and Sony share the mainline one, reproducing the two MD5
+#: camps the paper observed.
+FIREBASE_SPECS: Tuple[DeviceSpec, ...] = (
+    _firebase_spec("samsung_galaxy_note8", "EXYNOS 9 OCTA 8895", "mainline"),
+    _firebase_spec("huawei_mate_rs", "HISILICON KIRIN 970", "vendor_neon"),
+    _firebase_spec("pixel_2", "SNAPDRAGON 835", "mainline"),
+    _firebase_spec("sony_xz3", "SNAPDRAGON 845", "mainline"),
+    _firebase_spec("xiaomi_mi_8_pro", "HELIO G90T (MT6785T)", "vendor_neon"),
+)
+
+
+def capture_fleet() -> List[DeviceProfile]:
+    """The five phones of the end-to-end experiment (paper Table 1)."""
+    return [build_profile(spec) for spec in CAPTURE_SPECS]
+
+
+def firebase_fleet() -> List[DeviceProfile]:
+    """The five phones of the OS/processor experiment (paper Table 5)."""
+    return [build_profile(spec) for spec in FIREBASE_SPECS]

@@ -1,0 +1,88 @@
+"""Synthetic device populations: generate, execute, aggregate at scale.
+
+The paper characterizes instability across five physical handsets; this
+package asks the population-level question those five can't answer —
+what does the instability *distribution* look like across a thousand
+devices, and which devices are outliers? It has four parts:
+
+* :mod:`~repro.fleet.population` — seeded per-vendor parameter
+  distributions that sample :class:`~repro.devices.profiles.DeviceSpec`
+  records and feed them through the same :func:`build_profile` factory
+  as the paper's fixed fleets.
+* :mod:`~repro.fleet.columnar` — a struct-array record store with JSONL
+  shard spill, so millions of capture records never become Python
+  objects.
+* :mod:`~repro.fleet.stats` — merge-associative (integer-sum)
+  population aggregation: consensus labels, per-device divergence,
+  percentiles, robust (MAD) outlier detection.
+* :mod:`~repro.fleet.studies` — the studies themselves: population
+  capture instability and OS-upgrade drift over simulated time, exposed
+  on the CLI as ``python -m repro fleet``.
+"""
+
+from .columnar import ColumnarStore, concat_tables, read_shard, write_shard
+from .population import (
+    DEFAULT_VENDORS,
+    FleetSpec,
+    ParamRange,
+    SyntheticDevice,
+    VendorSpec,
+    Weighted,
+    default_fleet_spec,
+    fixed_devices,
+    generate_devices,
+    generate_fleet,
+    sample_device,
+)
+from .stats import (
+    CONF_SCALE,
+    RECORD_DTYPE,
+    SUMMARY_PERCENTILES,
+    ConsensusCounts,
+    DeviceStats,
+    TableDims,
+    aggregate_tables,
+    population_summary,
+    robust_outliers,
+)
+from .studies import (
+    FLEET_PRETRAIN,
+    DriftStudyOutcome,
+    PopulationStudyOutcome,
+    fleet_model,
+    run_drift_study,
+    run_population_study,
+)
+
+__all__ = [
+    "CONF_SCALE",
+    "ColumnarStore",
+    "ConsensusCounts",
+    "DEFAULT_VENDORS",
+    "DeviceStats",
+    "DriftStudyOutcome",
+    "FLEET_PRETRAIN",
+    "FleetSpec",
+    "ParamRange",
+    "PopulationStudyOutcome",
+    "RECORD_DTYPE",
+    "SUMMARY_PERCENTILES",
+    "SyntheticDevice",
+    "TableDims",
+    "VendorSpec",
+    "Weighted",
+    "aggregate_tables",
+    "concat_tables",
+    "default_fleet_spec",
+    "fixed_devices",
+    "fleet_model",
+    "generate_devices",
+    "generate_fleet",
+    "population_summary",
+    "read_shard",
+    "robust_outliers",
+    "run_drift_study",
+    "run_population_study",
+    "sample_device",
+    "write_shard",
+]

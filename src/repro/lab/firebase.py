@@ -37,7 +37,42 @@ from ..scenes.screen import Screen
 from .common import resolve_model
 from .rig import CaptureRig
 
-__all__ = ["FirebaseTestLab", "FirebaseOutcome"]
+__all__ = ["FirebaseTestLab", "FirebaseOutcome", "build_photo_set"]
+
+
+def build_photo_set(
+    num_photos: int = 40,
+    image_format: str = "jpeg",
+    quality: int = 85,
+    seed: int = 0,
+) -> List[dict]:
+    """Encode the fixed photo corpus once, off-device.
+
+    Photos are rendered scenes passed through the screen (so they have
+    photographic texture) and encoded by the *experimenter* with the
+    reference encoder — every device receives byte-identical files. The
+    §7 experiment and the fleet drift study share this corpus builder.
+    """
+    per_class = max(1, -(-num_photos // 5))
+    dataset = build_dataset(per_class=per_class, seed=seed)
+    rig = CaptureRig(screen=Screen(seed=seed), angles=(0.0,))
+    codec = get_codec(image_format)
+    photos = []
+    for shown in rig.present(list(dataset))[:num_photos]:
+        img = shown.radiance
+        if codec.default_quality is None:
+            data = codec.encode(img)
+        else:
+            data = codec.encode(img, quality=quality)
+        photos.append(
+            {
+                "bytes": data,
+                "image_id": shown.image_id,
+                "label": shown.item.label,
+                "class_name": shown.item.class_name,
+            }
+        )
+    return photos
 
 
 @dataclass
@@ -81,32 +116,8 @@ class FirebaseTestLab:
     def build_photo_set(
         self, num_photos: int = 40, image_format: str = "jpeg", quality: int = 85
     ) -> List[dict]:
-        """Encode the fixed photo corpus once, off-device.
-
-        Photos are rendered scenes passed through the screen (so they have
-        photographic texture) and encoded by the *experimenter* with the
-        reference encoder — every device receives byte-identical files.
-        """
-        per_class = max(1, num_photos // 5)
-        dataset = build_dataset(per_class=per_class, seed=self.seed)
-        rig = CaptureRig(screen=Screen(seed=self.seed), angles=(0.0,))
-        codec = get_codec(image_format)
-        photos = []
-        for shown in rig.present(list(dataset))[:num_photos]:
-            img = shown.radiance
-            if codec.default_quality is None:
-                data = codec.encode(img)
-            else:
-                data = codec.encode(img, quality=quality)
-            photos.append(
-                {
-                    "bytes": data,
-                    "image_id": shown.image_id,
-                    "label": shown.item.label,
-                    "class_name": shown.item.class_name,
-                }
-            )
-        return photos
+        """The module-level :func:`build_photo_set`, at this lab's seed."""
+        return build_photo_set(num_photos, image_format, quality, seed=self.seed)
 
     def run(
         self, num_photos: int = 40, image_format: str = "jpeg", quality: int = 85

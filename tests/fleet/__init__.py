@@ -1,0 +1,1 @@
+"""Tests for the synthetic device population subsystem."""

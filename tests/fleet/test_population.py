@@ -1,0 +1,183 @@
+"""Property-based tests for the population generator.
+
+The determinism contract (same seed -> bit-identical fleet; a smaller
+fleet is a strict prefix of a bigger one) and the physical-envelope
+invariants (every sampled parameter inside its vendor's declared range)
+are checked with Hypothesis over seeds and sizes, not just one example.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.profiles import (
+    CAPTURE_SPECS,
+    FIREBASE_SPECS,
+    capture_fleet,
+    firebase_fleet,
+)
+from repro.fleet import (
+    FleetSpec,
+    ParamRange,
+    Weighted,
+    default_fleet_spec,
+    fixed_devices,
+    generate_devices,
+    generate_fleet,
+    sample_device,
+)
+from repro.runner.cache import fingerprint
+
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestSeedDeterminism:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=SEEDS)
+    def test_same_seed_same_fleet(self, seed):
+        """Bit-identical specs, profiles, and cache fingerprints."""
+        first = generate_devices(8, seed=seed)
+        second = generate_devices(8, seed=seed)
+        for a, b in zip(first, second):
+            assert a.spec == b.spec
+            assert a.profile == b.profile
+            assert a.upgrade_step == b.upgrade_step
+            assert fingerprint(a.profile) == fingerprint(b.profile)
+
+    def test_different_seeds_differ(self):
+        a = generate_devices(12, seed=0)
+        b = generate_devices(12, seed=1)
+        assert any(x.spec != y.spec for x, y in zip(a, b))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=SEEDS, small=st.integers(1, 6), extra=st.integers(1, 6))
+    def test_prefix_property(self, seed, small, extra):
+        """Device i depends only on (spec, seed, i), never on fleet size."""
+        short = generate_devices(small, seed=seed)
+        long = generate_devices(small + extra, seed=seed)
+        for a, b in zip(short, long):
+            assert a.spec == b.spec
+            assert a.upgrade_step == b.upgrade_step
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=SEEDS, index=st.integers(0, 999))
+    def test_sample_device_is_pure(self, seed, index):
+        spec = default_fleet_spec()
+        a = sample_device(spec, seed, index)
+        b = sample_device(spec, seed, index)
+        assert a.spec == b.spec and a.upgrade_step == b.upgrade_step
+
+
+class TestParameterInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=SEEDS, index=st.integers(0, 499))
+    def test_sampled_parameters_inside_vendor_ranges(self, seed, index):
+        spec = default_fleet_spec()
+        device = sample_device(spec, seed, index)
+        vendor = next(v for v in spec.vendors if v.name == device.vendor)
+        d = device.spec
+        assert vendor.full_well.contains(d.full_well)
+        assert vendor.read_noise.contains(d.read_noise)
+        assert vendor.dark_current.contains(d.dark_current)
+        assert vendor.prnu.contains(d.prnu)
+        assert vendor.vignetting.contains(d.vignetting)
+        assert vendor.blur.contains(d.blur)
+        assert vendor.chroma_ab.contains(d.chroma_ab)
+        assert vendor.red_sensitivity.contains(d.sensitivity[0])
+        assert d.sensitivity[1] == 1.0
+        assert vendor.blue_sensitivity.contains(d.sensitivity[2])
+        assert vendor.exposure.contains(d.exposure)
+        assert d.isp in vendor.isp.choices
+        assert d.save_format in vendor.save_format.choices
+        # Quality is rounded to int, so allow the half-unit slop.
+        assert vendor.save_quality.low - 0.5 <= d.save_quality
+        assert d.save_quality <= vendor.save_quality.high + 0.5
+        assert d.decoder_family in vendor.decoder_family.choices
+        assert device.upgrade_step >= 1
+        assert d.name == f"{device.vendor}-{index:06d}"
+
+    def test_vendor_shares_normalize(self):
+        shares = default_fleet_spec().shares()
+        assert pytest.approx(sum(shares)) == 1.0
+        assert all(s > 0 for s in shares)
+
+
+class TestValidation:
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            ParamRange(2.0, 1.0)
+
+    def test_weighted_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            Weighted(choices=("a", "b"), weights=(1.0,))
+        with pytest.raises(ValueError):
+            Weighted(choices=("a",), weights=(-1.0,))
+
+    def test_unknown_isp_rejected(self):
+        vendor = default_fleet_spec().vendors[0]
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="unknown ISPs"):
+            replace(vendor, isp=Weighted(choices=("no_such_isp",), weights=(1.0,)))
+
+    def test_unknown_decoder_rejected(self):
+        vendor = default_fleet_spec().vendors[0]
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="unknown decoder"):
+            replace(vendor, upgrade_decoder_family="no_such_family")
+
+    def test_duplicate_vendor_names_rejected(self):
+        vendor = default_fleet_spec().vendors[0]
+        with pytest.raises(ValueError, match="duplicate"):
+            FleetSpec(vendors=(vendor, vendor))
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            generate_devices(0)
+
+
+class TestPaperFleetsAreDegeneratePopulations:
+    """Satellite fix: one factory serves fixed fleets and the generator."""
+
+    def test_capture_fleet_reproducible_from_specs(self):
+        population = fixed_devices(CAPTURE_SPECS)
+        assert [d.profile for d in population] == capture_fleet()
+        for device, profile in zip(population, capture_fleet()):
+            assert fingerprint(device.profile) == fingerprint(profile)
+
+    def test_firebase_fleet_reproducible_from_specs(self):
+        population = fixed_devices(FIREBASE_SPECS)
+        assert [d.profile for d in population] == firebase_fleet()
+
+    def test_fixed_devices_never_upgrade_by_default(self):
+        for device in fixed_devices(CAPTURE_SPECS):
+            assert device.upgrade_step == np.iinfo(np.int32).max
+            assert device.upgrade_decoder_family == device.spec.decoder_family
+
+
+class TestExecutorAcceptsGeneratedProfiles:
+    def test_photograph_units_run_end_to_end(self):
+        """Generated profiles drop into FleetExecutor unchanged."""
+        from repro.runner.executor import FleetExecutor
+        from repro.runner.seeds import unit_entropy
+        from repro.runner.units import CaptureUnit
+
+        profiles = generate_fleet(3, seed=5)
+        ramp = np.linspace(0.1, 0.9, 96 * 96 * 3, dtype=np.float32)
+        radiance = ramp.reshape(96, 96, 3)
+        units = [
+            CaptureUnit(
+                kind="photograph",
+                profile=profile,
+                radiance=radiance,
+                entropy=unit_entropy(5, profile.name, 0, 0),
+            )
+            for profile in profiles
+        ]
+        payloads = FleetExecutor(workers=0).run(units)
+        assert len(payloads) == 3
+        for payload in payloads:
+            assert payload["pixels"].shape == (96, 96, 3)
+            assert int(payload["encoded_size"]) > 0
