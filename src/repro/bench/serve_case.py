@@ -1,0 +1,114 @@
+"""Serving macro benchmark: sustained captures/sec and tail latency.
+
+``python -m repro bench --serve`` stands up an in-process
+:class:`~repro.serve.IngestService` (untrained seed-1 model, so the run
+is hermetic — no pretraining step in the timed path), drives it with the
+seeded open-loop schedule ``repro.loadgen`` would send over the wire,
+drains, and reports sustained captures/sec plus p50/p95/p99 latency.
+The request mix is fully determined by ``(seed, rate, count)``, so
+successive ``BENCH_serve.json`` files are comparable run over run and
+PR over PR — only the timing columns may differ.
+
+The offered rate is held *below* the single-process capture capacity on
+purpose: tail latency is only meaningful for a stable queue. Capacity
+itself is measured separately by the ``saturation`` phase, which submits
+the same mix unpaced (infinite offered rate) and reports pure
+completion throughput.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict
+
+from ..loadgen import build_schedule, drive_inproc
+from ..serve import IngestService, ServeConfig
+
+__all__ = ["run_serve_bench"]
+
+#: Fixed benchmark operating point (full / --quick).
+RATE_PER_S = 40.0
+COUNT = 200
+QUICK_COUNT = 40
+SATURATION_COUNT = 120
+QUICK_SATURATION_COUNT = 30
+
+
+def _service(seed: int, workers: int) -> IngestService:
+    return IngestService(
+        ServeConfig(
+            fleet_size=16,
+            scenes=4,
+            seed=seed,
+            queue_capacity=4096,  # sized so the paced phase never sheds
+            batch_max=64,
+            batch_window_s=0.02,
+            request_timeout_s=120.0,
+            workers=workers,
+            window_s=0.0,  # windows roll at drain; no mid-run timer noise
+            model="untrained",
+        )
+    )
+
+
+async def _drive(service: IngestService, count: int, rate: float, paced: bool) -> Dict:
+    await service.start()
+    schedule = build_schedule(
+        count=count,
+        rate=rate,
+        devices=service.config.fleet_size,
+        scenes=service.config.scenes,
+        seed=service.config.seed,
+        repeats=2,
+    )
+    report = await drive_inproc(service, schedule, paced=paced)
+    accounting = await service.drain()
+    report.pop("responses")
+    report["accounting"] = accounting
+    return report
+
+
+def run_serve_bench(quick: bool = False, seed: int = 0, workers: int = 0) -> Dict:
+    """Run both serving phases; returns the JSON-serializable report."""
+    count = QUICK_COUNT if quick else COUNT
+    sat_count = QUICK_SATURATION_COUNT if quick else SATURATION_COUNT
+    paced = asyncio.run(_drive(_service(seed, workers), count, RATE_PER_S, True))
+    saturation = asyncio.run(
+        _drive(_service(seed, workers), sat_count, RATE_PER_S, False)
+    )
+    return {
+        "bench": "serve",
+        "quick": quick,
+        "seed": seed,
+        "workers": workers,
+        "model": "untrained",
+        "offered_rate_per_s": RATE_PER_S,
+        "paced": paced,
+        "saturation": saturation,
+    }
+
+
+def format_serve_report(report: Dict) -> str:
+    """Render the serving report as a short text block."""
+    lines = []
+    for phase in ("paced", "saturation"):
+        entry = report[phase]
+        latency = entry["latency"]
+        lines.append(
+            f"{phase}: {entry['captures_per_sec']:.1f} captures/s "
+            f"({entry['answered']}/{entry['planned']} answered in "
+            f"{entry['elapsed_s']:.2f}s)"
+        )
+        if latency.get("count"):
+            lines.append(
+                "  latency p50/p95/p99: "
+                f"{latency['p50_ms']:.1f} / {latency['p95_ms']:.1f} / "
+                f"{latency['p99_ms']:.1f} ms"
+            )
+        accounting = entry["accounting"]
+        lines.append(
+            f"  accounting: accepted={accounting['accepted']} "
+            f"completed={accounting['completed']} shed={accounting['shed']} "
+            f"balanced={accounting['balanced']}"
+        )
+    return "\n".join(lines)

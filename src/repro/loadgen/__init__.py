@@ -1,0 +1,19 @@
+"""repro.loadgen — seeded open-loop load generation for repro.serve.
+
+Builds deterministic Poisson-arrival request schedules over a served
+fleet (:mod:`repro.loadgen.generator`) and drives them either over TCP
+against ``python -m repro serve`` or in-process
+(:mod:`repro.loadgen.client`). Open loop by design: offered load never
+backs off, so queue shedding is actually observable. See ``SERVING.md``.
+"""
+
+from .client import drive_inproc, run_loadgen, summarize_results
+from .generator import ScheduledRequest, build_schedule
+
+__all__ = [
+    "drive_inproc",
+    "run_loadgen",
+    "summarize_results",
+    "ScheduledRequest",
+    "build_schedule",
+]

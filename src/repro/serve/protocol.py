@@ -1,0 +1,107 @@
+"""Newline-delimited JSON wire protocol between ``serve`` and ``loadgen``.
+
+One message per line, UTF-8 JSON with sorted keys (byte-stable for a
+given payload). Every message carries an ``"op"`` discriminator:
+
+Client → server
+    ``hello``   — ask for the service dimensions (device/scene counts);
+    ``capture`` — one capture request: ``id`` (client-chosen echo token),
+    ``device``/``scene``/``repeat`` coordinates into the server's fleet;
+    ``stats``   — ask for the live metrics snapshot;
+    ``drain``   — graceful drain: stop accepting, answer everything
+    already accepted, reply ``drained`` with the accounting; with
+    ``"stop": true`` the server also shuts down afterwards.
+
+Server → client
+    ``hello``, ``stats``, ``drained`` — replies to the above;
+    ``result``  — one response per ``capture``, carrying the terminal
+    ``status`` (see :mod:`repro.serve.service`) and, when ``ok``, the
+    prediction plus a SHA-256 of the decoded pixels (bit-identity is
+    checkable over the wire without shipping pixel buffers);
+    ``error``   — protocol-level failure for an unparseable line.
+
+The protocol is deliberately free of floats-as-identity: coordinates are
+integers, and the only floats (confidence, latency) are reported values,
+never inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+__all__ = [
+    "ProtocolError",
+    "CLIENT_OPS",
+    "SERVER_OPS",
+    "encode_message",
+    "decode_message",
+    "capture_message",
+    "result_message",
+]
+
+CLIENT_OPS = ("hello", "capture", "stats", "drain")
+SERVER_OPS = ("hello", "result", "stats", "drained", "error")
+
+
+class ProtocolError(ValueError):
+    """A line that does not decode into a well-formed message."""
+
+
+def encode_message(message: Dict) -> bytes:
+    """Serialize one message to a single JSON line (sorted keys)."""
+    return json.dumps(message, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def decode_message(line: bytes) -> Dict:
+    """Parse one wire line into a message dict.
+
+    Raises
+    ------
+    ProtocolError:
+        If the line is not JSON, not an object, or lacks a string ``op``.
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message must be a JSON object, got {type(message).__name__}")
+    op = message.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("message lacks a string 'op' field")
+    return message
+
+
+def capture_message(request_id: int, device: int, scene: int, repeat: int = 0) -> Dict:
+    """Build a ``capture`` request message."""
+    return {
+        "op": "capture",
+        "id": int(request_id),
+        "device": int(device),
+        "scene": int(scene),
+        "repeat": int(repeat),
+    }
+
+
+def result_message(response) -> Dict:
+    """Render a :class:`~repro.serve.service.CaptureResponse` as a message."""
+    message = {
+        "op": "result",
+        "id": response.request_id,
+        "status": response.status,
+        "latency_ms": round(response.latency_s * 1e3, 3),
+    }
+    if response.status == "ok":
+        message.update(
+            top1=response.top1,
+            confidence=response.confidence,
+            ranking=list(response.ranking),
+            pixels_sha256=response.pixels_sha256,
+            encoded_size=response.encoded_size,
+        )
+    elif response.detail:
+        message["detail"] = response.detail
+    return message

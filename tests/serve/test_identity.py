@@ -1,0 +1,69 @@
+"""The serving determinism invariant: drained service == serial runner.
+
+A response must be a pure function of its request coordinates — the
+queue, the batcher, coalescing, batch sizing, and the worker pool are
+all throughput machinery that cannot change a single bit of any answer.
+"""
+
+import asyncio
+
+from repro.loadgen.client import drive_inproc
+from repro.loadgen.generator import build_schedule
+from repro.serve.service import CaptureRequest, IngestService
+
+from .conftest import make_config
+
+
+def drive(config, schedule):
+    async def scenario():
+        service = IngestService(config)
+        await service.start()
+        report = await drive_inproc(service, schedule, paced=False)
+        await service.drain()
+        return service, report
+
+    return asyncio.run(scenario())
+
+
+def fields(report):
+    return {
+        rid: response.deterministic_fields()
+        for rid, response in report["responses"].items()
+    }
+
+
+SCHEDULE = build_schedule(count=24, rate=1000.0, devices=4, scenes=2, seed=11, repeats=2)
+
+
+class TestBitIdentity:
+    def test_drained_service_matches_serial_reference(self):
+        config = make_config(batch_max=16, queue_capacity=64)
+        service, report = drive(config, SCHEDULE)
+        assert all(r.status == "ok" for r in report["responses"].values())
+        requests = [
+            CaptureRequest(p.request_id, p.device, p.scene, p.repeat)
+            for p in SCHEDULE
+        ]
+        serial = {
+            r.request_id: r.deterministic_fields()
+            for r in service.serial_reference(requests)
+        }
+        assert fields(report) == serial
+
+    def test_batch_composition_cannot_change_responses(self):
+        # batch_max=1 (no coalescing, one unit per batch) versus
+        # batch_max=32 (whole run in one coalesced batch): identical.
+        _, singles = drive(make_config(batch_max=1), SCHEDULE)
+        _, batched = drive(make_config(batch_max=32), SCHEDULE)
+        assert fields(singles) == fields(batched)
+
+    def test_worker_pool_cannot_change_responses(self):
+        _, serial = drive(make_config(workers=0), SCHEDULE)
+        _, pooled = drive(make_config(workers=2), SCHEDULE)
+        assert fields(serial) == fields(pooled)
+
+    def test_request_order_cannot_change_responses(self):
+        reordered = list(reversed(SCHEDULE))
+        _, forward = drive(make_config(), SCHEDULE)
+        _, backward = drive(make_config(), reordered)
+        assert fields(forward) == fields(backward)

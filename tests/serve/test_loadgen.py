@@ -1,0 +1,75 @@
+"""Load-generator determinism and report aggregation."""
+
+import pytest
+
+from repro.loadgen.client import summarize_results
+from repro.loadgen.generator import build_schedule
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = build_schedule(count=50, rate=20.0, devices=8, scenes=4, seed=3, repeats=2)
+        b = build_schedule(count=50, rate=20.0, devices=8, scenes=4, seed=3, repeats=2)
+        assert a == b
+
+    def test_different_seed_different_schedule(self):
+        a = build_schedule(count=50, rate=20.0, devices=8, scenes=4, seed=3)
+        b = build_schedule(count=50, rate=20.0, devices=8, scenes=4, seed=4)
+        assert a != b
+
+    def test_rate_retimes_but_keeps_the_request_mix(self):
+        # Separate RNG streams for arrivals and coordinates: changing
+        # the rate must re-time the *same* sequence of requests.
+        slow = build_schedule(count=40, rate=5.0, devices=8, scenes=4, seed=7)
+        fast = build_schedule(count=40, rate=500.0, devices=8, scenes=4, seed=7)
+        assert [(p.device, p.scene, p.repeat) for p in slow] == [
+            (p.device, p.scene, p.repeat) for p in fast
+        ]
+        assert [p.at_s for p in slow] != [p.at_s for p in fast]
+
+    def test_arrivals_monotonic_and_mean_near_rate(self):
+        schedule = build_schedule(count=400, rate=50.0, devices=4, scenes=2, seed=0)
+        times = [p.at_s for p in schedule]
+        assert times == sorted(times)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1 / 50.0, rel=0.25)
+
+    def test_coordinates_stay_in_range(self):
+        schedule = build_schedule(
+            count=200, rate=100.0, devices=3, scenes=2, seed=1, repeats=2
+        )
+        assert {p.request_id for p in schedule} == set(range(200))
+        assert all(0 <= p.device < 3 for p in schedule)
+        assert all(0 <= p.scene < 2 for p in schedule)
+        assert all(0 <= p.repeat < 2 for p in schedule)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"count": -1},
+            {"rate": 0.0},
+            {"devices": 0},
+            {"scenes": 0},
+            {"repeats": 0},
+        ],
+    )
+    def test_bad_arguments_rejected(self, kwargs):
+        base = dict(count=10, rate=10.0, devices=2, scenes=2, repeats=1)
+        with pytest.raises(ValueError):
+            build_schedule(**{**base, **kwargs})
+
+
+class TestSummarize:
+    def test_counts_latency_and_throughput(self):
+        results = [
+            {"op": "result", "status": "ok", "latency_ms": 10.0},
+            {"op": "result", "status": "ok", "latency_ms": 30.0},
+            {"op": "result", "status": "shed", "latency_ms": 0.0},
+        ]
+        report = summarize_results(results, elapsed_s=2.0, planned=4)
+        assert report["planned"] == 4
+        assert report["answered"] == 3
+        assert report["by_status"] == {"ok": 2, "shed": 1}
+        assert report["captures_per_sec"] == pytest.approx(1.0)
+        assert report["latency"]["count"] == 2
+        assert report["latency"]["p50_ms"] == pytest.approx(10.0)

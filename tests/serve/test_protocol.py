@@ -1,0 +1,67 @@
+"""Wire-protocol round-trips and malformed-line handling."""
+
+import pytest
+
+from repro.serve.protocol import (
+    ProtocolError,
+    capture_message,
+    decode_message,
+    encode_message,
+    result_message,
+)
+from repro.serve.service import CaptureResponse
+
+
+class TestRoundTrip:
+    def test_capture_round_trip(self):
+        message = capture_message(7, device=3, scene=1, repeat=2)
+        assert decode_message(encode_message(message)) == message
+
+    def test_encode_is_one_line(self):
+        line = encode_message(capture_message(1, 0, 0))
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_encode_is_byte_stable(self):
+        # Sorted keys: construction order can't change the wire bytes.
+        a = {"op": "capture", "id": 1, "device": 2, "scene": 0, "repeat": 0}
+        b = {"repeat": 0, "scene": 0, "device": 2, "id": 1, "op": "capture"}
+        assert encode_message(a) == encode_message(b)
+
+    def test_ok_result_carries_prediction_and_digest(self):
+        response = CaptureResponse(
+            request_id=9,
+            status="ok",
+            top1=3,
+            confidence=0.25,
+            ranking=(3, 1, 0, 2),
+            pixels_sha256="ab" * 32,
+            encoded_size=1234,
+            latency_s=0.5,
+        )
+        message = decode_message(encode_message(result_message(response)))
+        assert message["op"] == "result"
+        assert message["id"] == 9
+        assert message["status"] == "ok"
+        assert message["top1"] == 3
+        assert message["ranking"] == [3, 1, 0, 2]
+        assert message["pixels_sha256"] == "ab" * 32
+        assert message["encoded_size"] == 1234
+        assert message["latency_ms"] == 500.0
+
+    def test_refusal_result_carries_detail_only(self):
+        response = CaptureResponse(request_id=4, status="shed", detail="queue full")
+        message = result_message(response)
+        assert message["status"] == "shed"
+        assert message["detail"] == "queue full"
+        assert "pixels_sha256" not in message
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "line",
+        [b"not json\n", b"[1, 2]\n", b'{"no_op": true}\n', b'{"op": 5}\n', b"\xff\xfe\n"],
+    )
+    def test_bad_lines_raise(self, line):
+        with pytest.raises(ProtocolError):
+            decode_message(line)

@@ -1,0 +1,261 @@
+"""Service-path invariants: shedding, drain, timeouts, windows, warming.
+
+These are the acceptance criteria of the serving PR in executable form:
+bounded queues shed under overload without deadlock, graceful drain
+answers or accounts for every accepted request, and the streaming
+(windowed) metrics agree with the direct counts.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runner.cache import CaptureCache
+from repro.serve.service import (
+    CaptureRequest,
+    IngestService,
+    ServeConfig,
+    latency_summary,
+    shard_of_key,
+)
+from repro.runner.units import unit_cache_key
+
+from .conftest import make_config
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmission:
+    def test_overload_sheds_exactly_beyond_capacity(self):
+        async def scenario():
+            service = IngestService(make_config(queue_capacity=5))
+            await service.start()
+            # Synchronous submits with no await in between: the batcher
+            # never gets scheduled, so the queue fills deterministically.
+            futures = [
+                service.submit(CaptureRequest(i, device=i % 4, scene=0))
+                for i in range(12)
+            ]
+            responses = await asyncio.gather(*futures)
+            await service.drain()
+            return service, responses
+
+        service, responses = run(scenario())
+        statuses = [r.status for r in responses]
+        assert statuses.count("shed") == 12 - 5
+        assert statuses.count("ok") == 5
+        # Shed responses resolve immediately with a reason.
+        shed = next(r for r in responses if r.status == "shed")
+        assert "queue full" in shed.detail
+        accounting = service.accounting()
+        assert accounting["shed"] == 7
+        assert accounting["accepted"] == 5
+        assert accounting["balanced"]
+
+    def test_invalid_coordinates_rejected_without_acceptance(self):
+        async def scenario():
+            service = IngestService(make_config())
+            await service.start()
+            bad = [
+                CaptureRequest(0, device=99, scene=0),
+                CaptureRequest(1, device=0, scene=99),
+                CaptureRequest(2, device=0, scene=0, repeat=-1),
+            ]
+            responses = await asyncio.gather(*[service.submit(r) for r in bad])
+            await service.drain()
+            return service, responses
+
+        service, responses = run(scenario())
+        assert [r.status for r in responses] == ["invalid"] * 3
+        accounting = service.accounting()
+        assert accounting["invalid"] == 3
+        assert accounting["accepted"] == 0
+        assert accounting["balanced"]
+
+    def test_submit_after_drain_rejected_as_draining(self):
+        async def scenario():
+            service = IngestService(make_config())
+            await service.start()
+            await service.drain()
+            return service, await service.submit(CaptureRequest(0, 0, 0))
+
+        service, response = run(scenario())
+        assert response.status == "draining"
+        assert service.accounting()["rejected_draining"] == 1
+
+
+class TestDrain:
+    def test_drain_answers_every_accepted_request(self):
+        async def scenario():
+            service = IngestService(make_config(batch_window_s=0.5, batch_max=100))
+            await service.start()
+            futures = [
+                service.submit(CaptureRequest(i, device=i % 4, scene=i % 2))
+                for i in range(10)
+            ]
+            # Drain immediately — the batch window hasn't elapsed, so
+            # everything is still queued; drain must flush it anyway.
+            accounting = await service.drain()
+            responses = await asyncio.gather(*futures)
+            return accounting, responses
+
+        accounting, responses = run(scenario())
+        assert all(r.status == "ok" for r in responses)
+        assert accounting["accepted"] == 10
+        assert accounting["completed"] == 10
+        assert accounting["pending"] == 0
+        assert accounting["balanced"]
+
+    def test_drain_is_idempotent(self):
+        async def scenario():
+            service = IngestService(make_config())
+            await service.start()
+            await asyncio.gather(*[
+                service.submit(CaptureRequest(i, 0, 0)) for i in range(3)
+            ])
+            first = await service.drain()
+            second = await service.drain()
+            return first, second
+
+        first, second = run(scenario())
+        assert first == second
+
+    def test_expired_requests_answer_timeout_and_stay_accounted(self):
+        async def scenario():
+            service = IngestService(make_config(request_timeout_s=0.0))
+            await service.start()
+            futures = [
+                service.submit(CaptureRequest(i, 0, 0)) for i in range(4)
+            ]
+            responses = await asyncio.gather(*futures)
+            accounting = await service.drain()
+            return accounting, responses
+
+        accounting, responses = run(scenario())
+        assert [r.status for r in responses] == ["timeout"] * 4
+        assert accounting["timed_out"] == 4
+        assert accounting["completed"] == 0
+        assert accounting["balanced"]
+
+
+class TestCoalescing:
+    def test_duplicate_coordinates_coalesce_to_one_execution(self):
+        async def scenario():
+            service = IngestService(make_config(batch_max=16, batch_window_s=0.1))
+            await service.start()
+            futures = [
+                service.submit(CaptureRequest(i, device=1, scene=1)) for i in range(6)
+            ]
+            responses = await asyncio.gather(*futures)
+            await service.drain()
+            return service, responses
+
+        service, responses = run(scenario())
+        assert all(r.status == "ok" for r in responses)
+        # All six shared one (device, scene, repeat): identical payloads.
+        assert len({r.pixels_sha256 for r in responses}) == 1
+        counters = service.stats()["counters"]
+        assert counters["serve.coalesced"] == 5.0
+        assert counters["serve.completed"] == 6.0
+
+
+class TestWindowedMetrics:
+    def test_window_totals_match_direct_counts(self):
+        async def scenario():
+            service = IngestService(make_config(window_s=0.05))
+            await service.start()
+            for burst in range(3):
+                futures = [
+                    service.submit(CaptureRequest(burst * 4 + i, i % 4, 0))
+                    for i in range(4)
+                ]
+                await asyncio.gather(*futures)
+                await asyncio.sleep(0.08)  # force at least one window roll
+            accounting = await service.drain()
+            return service, accounting
+
+        service, accounting = run(scenario())
+        assert service._windows_rolled >= 3
+        # The cumulative registry was built purely from window-snapshot
+        # merges, yet its totals equal the per-event ground truth.
+        counters = service.stats()["counters"]
+        assert counters["serve.accepted"] == 12.0
+        assert counters["serve.completed"] == 12.0
+        assert service.stats()["histograms"]["serve.latency_ms"]["count"] == 12
+        assert accounting["balanced"]
+
+
+class TestCacheWarming:
+    def test_shards_partition_the_unit_keyspace(self, tmp_path):
+        cache = CaptureCache(tmp_path / "cache")
+        config = make_config(fleet_size=4, scenes=2)
+        service = IngestService(config, cache=cache)
+        reports = [
+            service.warm(shard_index=i, shard_count=3, repeats=2) for i in range(3)
+        ]
+        # Every candidate unit lands in exactly one shard.
+        assert all(r["candidates"] == 4 * 2 * 2 for r in reports)
+        assert sum(r["shard_units"] for r in reports) == 4 * 2 * 2
+        assert sum(r["warmed"] + r["already_cached"] for r in reports) == 4 * 2 * 2
+        # After warming all shards, every unit the service can be asked
+        # for is a cache hit.
+        for device in range(4):
+            for scene in range(2):
+                for repeat in range(2):
+                    unit = service.unit_for(CaptureRequest(-1, device, scene, repeat))
+                    assert unit_cache_key(unit) in cache
+
+    def test_warm_is_idempotent(self, tmp_path):
+        cache = CaptureCache(tmp_path / "cache")
+        service = IngestService(make_config(), cache=cache)
+        first = service.warm()
+        second = service.warm()
+        assert first["warmed"] > 0
+        assert second["warmed"] == 0
+        assert second["already_cached"] == first["shard_units"]
+
+    def test_warm_requires_cache(self):
+        service = IngestService(make_config())
+        with pytest.raises(ValueError):
+            service.warm()
+
+    def test_shard_of_key_matches_disk_layout(self):
+        # Same prefix → same shard dir → same warm shard.
+        assert shard_of_key("ff" + "0" * 62, 4) == 0xFF % 4
+        assert shard_of_key("00" + "0" * 62, 4) == 0
+        with pytest.raises(ValueError):
+            shard_of_key("ab", 0)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"fleet_size": 0},
+            {"scenes": 0},
+            {"queue_capacity": 0},
+            {"batch_max": 0},
+            {"batch_window_s": -1.0},
+            {"request_timeout_s": -1.0},
+            {"window_s": -1.0},
+            {"model": "resnet"},
+        ],
+    )
+    def test_bad_config_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            ServeConfig(**{**dict(model="untrained"), **overrides})
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        assert latency_summary([]) == {"count": 0}
+
+    def test_percentiles_nearest_rank(self):
+        summary = latency_summary([i / 1000 for i in range(1, 101)])
+        assert summary["count"] == 100
+        assert summary["p50_ms"] == pytest.approx(50.0)
+        assert summary["p95_ms"] == pytest.approx(95.0)
+        assert summary["p99_ms"] == pytest.approx(99.0)
+        assert summary["max_ms"] == pytest.approx(100.0)
