@@ -19,11 +19,17 @@ from __future__ import annotations
 
 from collections import Counter
 from pathlib import Path
-from typing import Dict, Iterable, Tuple, Union
+from typing import Dict, Iterable, Set, Tuple, Union
 
 from .findings import Finding
 
-__all__ = ["load_baseline", "parse_baseline", "format_baseline", "write_baseline"]
+__all__ = [
+    "load_baseline",
+    "parse_baseline",
+    "format_baseline",
+    "write_baseline",
+    "split_unknown_rules",
+]
 
 BaselineKey = Tuple[str, str]  # (rel path, rule name)
 
@@ -79,6 +85,29 @@ def format_baseline(findings: Iterable[Finding]) -> str:
         suffix = f":{count}" if count > 1 else ""
         lines.append(f"{rel}:{rule}{suffix}")
     return "\n".join(lines) + "\n"
+
+
+def split_unknown_rules(
+    allowed: Dict[BaselineKey, int], known_rules: Set[str]
+) -> Tuple[Tuple[str, str, int], ...]:
+    """Remove and report entries naming rules that do not exist.
+
+    A deleted or renamed rule leaves baseline entries that can never
+    match a finding; before this check they hid inside the "stale"
+    bucket with a misleading "unused allowance" note. The caller passes
+    the *full* rule registry (never a ``--rule`` selection), so
+    narrowing a run does not misreport valid entries. Mutates
+    ``allowed`` in place and returns the removed ``(rel, rule, count)``
+    triples sorted by key.
+    """
+    unknown = tuple(
+        (rel, rule, count)
+        for (rel, rule), count in sorted(allowed.items())
+        if rule not in known_rules
+    )
+    for rel, rule, _count in unknown:
+        del allowed[(rel, rule)]
+    return unknown
 
 
 def write_baseline(findings: Iterable[Finding], path: Union[str, Path]) -> None:

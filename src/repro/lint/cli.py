@@ -14,7 +14,7 @@ from typing import List, Optional
 
 from .baseline import load_baseline, write_baseline
 from .engine import lint_paths
-from .registry import all_rules
+from .registry import all_rules, get_rules
 
 __all__ = ["configure_parser", "run", "default_target", "default_baseline_path"]
 
@@ -43,9 +43,21 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist whole-program summaries here (warm reruns skip "
+        "re-analysis of unchanged files)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule counts, wall time, and call-graph size",
     )
     parser.add_argument(
         "--rule",
@@ -99,7 +111,12 @@ def run(args: argparse.Namespace) -> int:
 
     paths: List[Path] = [Path(p) for p in args.paths] or [default_target()]
     try:
-        report = lint_paths(paths, rules=args.rules, baseline=baseline)
+        report = lint_paths(
+            paths,
+            rules=args.rules,
+            baseline=baseline,
+            cache_dir=args.cache_dir,
+        )
     except KeyError as exc:
         print(f"repro lint: {exc.args[0]}")
         return 2
@@ -117,6 +134,13 @@ def run(args: argparse.Namespace) -> int:
               f"written to {target}")
         return 0
 
+    if args.format == "sarif":
+        from .sarif import to_sarif
+
+        selected = get_rules(args.rules)
+        print(json.dumps(to_sarif(report, selected), indent=2, sort_keys=True))
+        return report.exit_code
+
     if args.format == "json":
         print(
             json.dumps(
@@ -129,6 +153,11 @@ def run(args: argparse.Namespace) -> int:
                         {"rel": rel, "rule": rule, "count": count}
                         for rel, rule, count in report.stale_baseline
                     ],
+                    "unknown_baseline": [
+                        {"rel": rel, "rule": rule, "count": count}
+                        for rel, rule, count in report.unknown_baseline
+                    ],
+                    "stats": report.stats,
                     "exit_code": report.exit_code,
                 },
                 indent=2,
@@ -144,6 +173,13 @@ def run(args: argparse.Namespace) -> int:
             f"note: baseline entry {rel}:{rule} has {count} unused "
             "allowance(s); trim lint-baseline.txt"
         )
+    for rel, rule, count in report.unknown_baseline:
+        print(
+            f"note: baseline entry {rel}:{rule} names an unknown rule "
+            f"({count} allowance(s) can never match); delete the line"
+        )
+    if args.stats:
+        _print_stats(report.stats)
     summary = (
         f"{len(report.findings)} finding(s) "
         f"({len(report.baselined)} baselined, {report.suppressed} suppressed) "
@@ -151,3 +187,21 @@ def run(args: argparse.Namespace) -> int:
     )
     print(("FAIL: " if report.exit_code else "ok: ") + summary)
     return report.exit_code
+
+
+def _print_stats(stats: dict) -> None:
+    """Render the ``--stats`` block (analysis cost over time in CI logs)."""
+    print(f"stats: {stats.get('files', 0)} file(s) analyzed "
+          f"in {stats.get('wall_s', 0.0):.3f}s")
+    rule_counts = stats.get("rule_counts") or {}
+    for rule, count in sorted(rule_counts.items()):
+        print(f"stats:   {rule}: {count} finding(s)")
+    graph = stats.get("callgraph") or {}
+    if graph:
+        total = graph.get("cache_hits", 0) + graph.get("cache_misses", 0)
+        rate = graph.get("cache_hits", 0) / total if total else 0.0
+        print(
+            f"stats:   call graph: {graph.get('nodes', 0)} node(s), "
+            f"{graph.get('edges', 0)} edge(s); summary cache "
+            f"{graph.get('cache_hits', 0)}/{total} hit(s) ({rate:.0%})"
+        )

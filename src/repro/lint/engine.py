@@ -6,6 +6,20 @@ repeat run), collects findings from the selected rules, drops findings
 suppressed inline with ``# lint: disable=RULE`` comments, debits the
 baseline, and returns a :class:`LintReport`.
 
+Two kinds of rules run per invocation:
+
+* per-module rules see one :class:`ModuleContext` at a time, exactly as
+  before;
+* whole-program rules (:class:`~repro.lint.registry.ProgramRule`) run
+  once all files are parsed, against the linked
+  :class:`~repro.lint.callgraph.Program`. Their per-module summaries
+  are cached by source hash when ``cache_dir`` is set, so warm reruns
+  skip the summary extraction walk entirely.
+
+Both kinds feed the same suppression/baseline pipeline, so an inline
+``# lint: disable=SEED001`` or a baseline entry works identically for
+cross-module findings.
+
 Scope keys (``rel``) are paths relative to the linted package root:
 when a file lives under a directory named ``repro`` the root is that
 package directory, so ``src/repro/core/report.py`` scopes as
@@ -17,14 +31,16 @@ relative to the explicit ``root`` argument, or by bare filename.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from .baseline import BaselineKey
+from .baseline import BaselineKey, split_unknown_rules
+from .callgraph import SummaryCache, build_program, source_sha
 from .context import ModuleContext
 from .findings import Finding, Severity
-from .registry import Rule, get_rules
+from .registry import ProgramRule, Rule, all_rules, get_rules
 
 __all__ = ["LintEngine", "LintReport", "lint_paths"]
 
@@ -42,6 +58,12 @@ class LintReport:
     suppressed: int  #: count dropped by inline ``# lint: disable``
     files: int  #: files checked
     stale_baseline: Tuple[Tuple[str, str, int], ...]  #: unused (rel, rule, n)
+    #: Baseline entries naming rules that no longer exist (rel, rule, n);
+    #: they cannot match any finding and should be deleted from the file.
+    unknown_baseline: Tuple[Tuple[str, str, int], ...] = ()
+    #: Analysis cost: files, wall seconds, per-rule finding counts, and
+    #: call-graph size / summary-cache hit rate (``--stats``).
+    stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def errors(self) -> Tuple[Finding, ...]:
@@ -88,9 +110,15 @@ def _relative_scope(path: Path, root: Optional[Path]) -> str:
 class LintEngine:
     """Parses, caches, and checks; reusable across runs."""
 
-    def __init__(self, rules: Optional[Sequence[str]] = None) -> None:
+    def __init__(
+        self,
+        rules: Optional[Sequence[str]] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
         self.rules: Tuple[Rule, ...] = get_rules(rules)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._ast_cache: Dict[Path, Tuple[Tuple[float, int], ModuleContext]] = {}
+        self._sha_cache: Dict[Path, Tuple[Tuple[float, int], str]] = {}
 
     def _context(self, path: Path, root: Optional[Path]) -> ModuleContext:
         stat = path.stat()
@@ -98,12 +126,14 @@ class LintEngine:
         cached = self._ast_cache.get(path)
         if cached is not None and cached[0] == stamp:
             return cached[1]
+        source = path.read_text(encoding="utf-8")
         ctx = ModuleContext.parse(
             path=str(path),
             rel=_relative_scope(path, root),
-            source=path.read_text(encoding="utf-8"),
+            source=source,
         )
         self._ast_cache[path] = (stamp, ctx)
+        self._sha_cache[path] = (stamp, source_sha(source))
         return ctx
 
     def run(
@@ -112,6 +142,7 @@ class LintEngine:
         baseline: Optional[Dict[BaselineKey, int]] = None,
         root: Optional[Union[str, Path]] = None,
     ) -> LintReport:
+        started = time.perf_counter()
         root = Path(root) if root is not None else None
         files = sorted(
             {f for p in paths for f in self._expand(Path(p))}
@@ -120,6 +151,32 @@ class LintEngine:
         baselined: List[Finding] = []
         suppressed = 0
         budget = dict(baseline or {})
+        # Validate against the full registry, not this run's selection:
+        # see split_unknown_rules.
+        known = {rule.name for rule in all_rules()} | {"PARSE"}
+        unknown = split_unknown_rules(budget, known)
+
+        module_rules = [
+            r for r in self.rules if not getattr(r, "whole_program", False)
+        ]
+        program_rules = [
+            r for r in self.rules if getattr(r, "whole_program", False)
+        ]
+        contexts: List[ModuleContext] = []
+        muted_by_rel: Dict[str, Dict[int, Set[str]]] = {}
+
+        def _admit(finding: Finding) -> None:
+            nonlocal suppressed
+            rules_here = muted_by_rel.get(finding.rel, {}).get(finding.line, ())
+            if "ALL" in rules_here or finding.rule in rules_here:
+                suppressed += 1
+                return
+            key = (finding.rel, finding.rule)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+                return
+            live.append(finding)
 
         for path in files:
             try:
@@ -136,33 +193,54 @@ class LintEngine:
                     )
                 )
                 continue
-            muted = _suppressions(ctx.lines)
+            contexts.append(ctx)
+            muted_by_rel[ctx.rel] = _suppressions(ctx.lines)
             found: List[Finding] = []
-            for rule in self.rules:
+            for rule in module_rules:
                 found.extend(rule.check(ctx))
             for finding in sorted(found, key=Finding.sort_key):
-                rules_here = muted.get(finding.line, ())
-                if "ALL" in rules_here or finding.rule in rules_here:
-                    suppressed += 1
-                    continue
-                key = (finding.rel, finding.rule)
-                if budget.get(key, 0) > 0:
-                    budget[key] -= 1
-                    baselined.append(finding)
-                    continue
-                live.append(finding)
+                _admit(finding)
+
+        graph_stats: Dict[str, object] = {}
+        if program_rules and contexts:
+            cache = (
+                SummaryCache(self.cache_dir)
+                if self.cache_dir is not None
+                else None
+            )
+            program = build_program(
+                [(ctx, self._sha_cache[Path(ctx.path)][1]) for ctx in contexts],
+                cache=cache,
+            )
+            graph_stats = dict(program.stats)
+            found = []
+            for rule in program_rules:
+                found.extend(rule.check_program(program))
+            for finding in sorted(found, key=Finding.sort_key):
+                _admit(finding)
 
         stale = tuple(
             (rel, rule, count)
             for (rel, rule), count in sorted(budget.items())
             if count > 0
         )
+        rule_counts: Dict[str, int] = {}
+        for finding in live:
+            rule_counts[finding.rule] = rule_counts.get(finding.rule, 0) + 1
+        stats: Dict[str, object] = {
+            "files": len(files),
+            "wall_s": round(time.perf_counter() - started, 4),
+            "rule_counts": dict(sorted(rule_counts.items())),
+            "callgraph": graph_stats,
+        }
         return LintReport(
             findings=tuple(sorted(live, key=Finding.sort_key)),
             baselined=tuple(baselined),
             suppressed=suppressed,
             files=len(files),
             stale_baseline=stale,
+            unknown_baseline=unknown,
+            stats=stats,
         )
 
     @staticmethod
@@ -181,6 +259,9 @@ def lint_paths(
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[Dict[BaselineKey, int]] = None,
     root: Optional[Union[str, Path]] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> LintReport:
     """One-shot convenience wrapper around :class:`LintEngine`."""
-    return LintEngine(rules).run(paths, baseline=baseline, root=root)
+    return LintEngine(rules, cache_dir=cache_dir).run(
+        paths, baseline=baseline, root=root
+    )

@@ -1,0 +1,131 @@
+"""ASY001-ASY003: async-safety analysis for the serving path.
+
+The streaming service (``serve/``) and its load generator (``loadgen/``)
+run a single event loop; one synchronous stall anywhere under an
+``async def`` freezes every in-flight request. The per-module rules
+cannot see this — the blocking call usually sits several frames below
+the coroutine, in perfectly reasonable synchronous code. These passes
+walk the call graph instead:
+
+* **ASY001** — a blocking primitive (``time.sleep``, sync file/socket
+  IO, ``Future.result()``, ``numpy`` IO) or a transitively-blocking
+  project function is reachable from an ``async def`` without an
+  executor shim (``run_in_executor`` / ``to_thread``). The finding
+  message carries the sync call chain down to the primitive.
+* **ASY002** — a lock/semaphore is held across an ``await``: every
+  other handler queues behind the critical section, and a slow peer
+  turns into whole-service head-of-line blocking.
+* **ASY003** — fire-and-forget ``create_task`` / ``ensure_future``:
+  the loop keeps only a weak reference, so the task can be garbage
+  collected mid-flight and its exception is silently dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .callgraph import Program
+from .findings import Finding
+from .registry import ProgramRule, register
+
+__all__ = ["NoBlockingInAsync", "NoLockAcrossAwait", "NoBareTask"]
+
+
+@register
+class NoBlockingInAsync(ProgramRule):
+    """ASY001: nothing reachable from a coroutine may block the loop."""
+
+    name = "ASY001"
+    summary = (
+        "no blocking calls (time.sleep, sync IO, Future.result, "
+        "transitively blocking functions) reachable inside async def "
+        "without a run_in_executor/to_thread shim"
+    )
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        for key in sorted(program.functions):
+            fn = program.functions[key]
+            if not fn.is_async:
+                continue
+            for fact in fn.blocking:
+                if fact.shielded:
+                    continue
+                yield self.program_finding(
+                    fn,
+                    fact.line,
+                    fact.col,
+                    f"blocking call {fact.what} inside async def "
+                    f"{fn.qual}; the event loop stalls until it returns "
+                    "— await an async equivalent or wrap it in "
+                    "loop.run_in_executor(...)",
+                )
+            for site, callee in program.callees(key):
+                if callee is None or site.shielded or site.awaited:
+                    continue
+                target = program.functions[callee]
+                if target.is_async:
+                    continue
+                chain = program.blocking_chain(callee)
+                if chain is None:
+                    continue
+                yield self.program_finding(
+                    fn,
+                    site.line,
+                    site.col,
+                    f"call to {site.raw}() inside async def {fn.qual} "
+                    "blocks the event loop: "
+                    + " -> ".join((fn.display,) + chain)
+                    + "; move it behind loop.run_in_executor(...)",
+                )
+
+
+@register
+class NoLockAcrossAwait(ProgramRule):
+    """ASY002: no lock/semaphore held across an await point."""
+
+    name = "ASY002"
+    summary = (
+        "no locks/semaphores held across await in async code; awaits "
+        "inside the critical section serialize every handler"
+    )
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        for key in sorted(program.functions):
+            fn = program.functions[key]
+            for fact in fn.lock_awaits:
+                yield self.program_finding(
+                    fn,
+                    fact.line,
+                    fact.col,
+                    f"{fact.what}: lock held across an await in "
+                    f"{fn.qual}; every other task queues behind this "
+                    "critical section while the awaited IO is in flight "
+                    "— keep awaits outside the lock or shrink the "
+                    "guarded region",
+                )
+
+
+@register
+class NoBareTask(ProgramRule):
+    """ASY003: no fire-and-forget tasks without exception handling."""
+
+    name = "ASY003"
+    summary = (
+        "no fire-and-forget create_task/ensure_future; keep a reference "
+        "and consume the exception, or the task may vanish mid-flight"
+    )
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        for key in sorted(program.functions):
+            fn = program.functions[key]
+            for fact in fn.bare_tasks:
+                yield self.program_finding(
+                    fn,
+                    fact.line,
+                    fact.col,
+                    f"{fact.what}(...) result discarded in {fn.qual}; "
+                    "the event loop holds only a weak reference, so the "
+                    "task can be garbage collected mid-flight and its "
+                    "exception is silently lost — keep a reference and "
+                    "handle failures (add_done_callback)",
+                )

@@ -125,7 +125,7 @@ class NoWallClock(Rule):
     name = "DET002"
     summary = (
         "no wall-clock/entropy (time.*, uuid, builtin hash()) in result "
-        "paths outside obs/, bench/, serve/, loadgen/"
+        "paths outside obs/, bench/, serve/, loadgen/, lint/"
     )
 
     #: Observability is side-band by contract — timing belongs there.
@@ -134,8 +134,9 @@ class NoWallClock(Rule):
     #: measure latency and pace request arrivals — wall-clock there
     #: steers *scheduling* and *reported timings* only; every capture
     #: payload still flows through the pure execute_unit path, which is
-    #: what the drained-service == serial-runner test pins down.
-    exempt_prefixes = ("obs/", "bench/", "serve/", "loadgen/")
+    #: what the drained-service == serial-runner test pins down. lint/
+    #: times its own analysis for ``--stats``; it never touches results.
+    exempt_prefixes = ("obs/", "bench/", "serve/", "loadgen/", "lint/")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if ctx.rel.startswith(self.exempt_prefixes):

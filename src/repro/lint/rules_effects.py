@@ -1,0 +1,77 @@
+"""PUR002: cross-module effect inference for observability sinks.
+
+PR 2's contract is that observability can *describe* a computation but
+never *change* it: tracing on vs. off must be bit-identical. OBS001
+enforces the local half (obs helpers used as statements/contexts, never
+in return position). This pass closes the cross-module loop: starting
+from every function defined in the pure pixel/byte modules (``codecs/``,
+``isp/``, ``sensor/``, ``kernels/``), it walks the call graph and flags
+any reachable function — wherever it lives — that consumes an obs
+helper's return value. Traversal stops at functions defined inside
+``obs/`` (and ``lint/``) itself: the sink's internals legitimately
+handle their own values; what matters is that nothing *outside* the
+sink reads them back into computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .callgraph import Program
+from .findings import Finding
+from .registry import ProgramRule, register
+
+__all__ = ["ObsWriteOnly"]
+
+#: Modules whose outputs must be pure functions of (inputs, seed).
+_PURE_PREFIXES = ("codecs/", "isp/", "sensor/", "kernels/")
+
+#: The sink boundary: traversal does not descend into these.
+_SINK_PREFIXES = ("obs/", "lint/")
+
+
+@register
+class ObsWriteOnly(ProgramRule):
+    """PUR002: obs reachable from pure modules is a write-only sink."""
+
+    name = "PUR002"
+    summary = (
+        "obs hooks reachable from codecs/, isp/, sensor/, kernels/ must "
+        "be write-only sinks; no obs return value may feed computation"
+    )
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        parents: Dict[str, Optional[str]] = {}
+        queue: List[str] = []
+        for key in sorted(program.functions):
+            if program.functions[key].rel.startswith(_PURE_PREFIXES):
+                parents[key] = None
+                queue.append(key)
+        while queue:
+            current = queue.pop(0)
+            for _site, callee in program.callees(current):
+                if callee is None or callee in parents:
+                    continue
+                if program.functions[callee].rel.startswith(_SINK_PREFIXES):
+                    continue
+                parents[callee] = current
+                queue.append(callee)
+
+        for key in sorted(parents):
+            fn = program.functions[key]
+            for use in fn.obs_uses:
+                chain: List[str] = []
+                cursor: Optional[str] = key
+                while cursor is not None:
+                    chain.append(program.functions[cursor].display)
+                    cursor = parents[cursor]
+                yield self.program_finding(
+                    fn,
+                    use.line,
+                    use.col,
+                    f"observability value {use.what} feeds computation in "
+                    f"{fn.qual}, reachable from a pure module via "
+                    + " -> ".join(reversed(chain))
+                    + "; obs must stay a write-only sink (statement or "
+                    "with-context) on pixel/byte paths",
+                )

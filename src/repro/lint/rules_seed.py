@@ -1,0 +1,110 @@
+"""SEED001: whole-program seed-provenance taint analysis.
+
+Every output bit must be a pure function of (unit identity, seed); the
+per-module DET001 rule catches *global* RNG draws, but says nothing
+about a generator seeded with ``default_rng(0)`` three modules away
+from the capture path. This pass classifies every RNG construction site
+in the program by the provenance of its seed expression:
+
+* ``derived`` — seeded through the blessed family in
+  :mod:`repro.runner.seeds` (``derive_rng`` / ``unit_entropy`` /
+  ``seed_component``);
+* ``tracked`` — seeded from a parameter or attribute, i.e. provenance
+  is threaded in by the caller (entry points passing a literal master
+  seed are the deliberate top of that chain);
+* ``literal`` / ``wallclock`` / ``untracked`` — flagged: the stream is
+  either the same everywhere, different every run, or unaccounted for.
+
+Functions that *accept* an RNG parameter and still construct their own
+generator are flagged too: the second stream silently decouples from
+the identity-derived one the caller threaded in.
+
+When a flagged birth is reachable from the capture/serving paths
+(``runner/``, ``fleet/``, ``lab/``, ``serve/``), the finding message
+carries the shortest call chain so the report shows *how* the bad
+stream reaches results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from .callgraph import Program
+from .findings import Finding
+from .registry import ProgramRule, register
+
+__all__ = ["SeedProvenance"]
+
+#: Call-path roots whose transitive callees feed captured results.
+_ROOT_PREFIXES = ("runner/", "fleet/", "lab/", "serve/")
+
+
+@register
+class SeedProvenance(ProgramRule):
+    """SEED001: RNG seeds must trace to identity-derived entropy."""
+
+    name = "SEED001"
+    summary = (
+        "RNG births must trace to derive_rng/unit identity through the "
+        "call graph; no literal, wall-clock, or untracked seeds"
+    )
+
+    #: The derivation site itself constructs generators from raw parts.
+    exempt = ("runner/seeds.py",)
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        roots = [
+            key
+            for key, fn in sorted(program.functions.items())
+            if fn.rel.startswith(_ROOT_PREFIXES)
+        ]
+        for key in sorted(program.functions):
+            fn = program.functions[key]
+            if fn.rel in self.exempt:
+                continue
+            for birth in fn.births:
+                message = self._diagnose(fn, birth)
+                if message is None:
+                    continue
+                chain = program.trace(roots, key)
+                if chain is not None and len(chain) > 1:
+                    message += (
+                        "; reachable from the capture path via "
+                        + " -> ".join(chain)
+                    )
+                yield self.program_finding(fn, birth.line, birth.col, message)
+
+    @staticmethod
+    def _diagnose(fn, birth):
+        where = f"in {fn.qual}" if fn.qual != "<module>" else "at module level"
+        if birth.kind == "literal":
+            return (
+                f"RNG born from a literal seed {where}: {birth.detail}; "
+                "every device would replay the same stream — derive it "
+                "from unit identity (repro.runner.seeds.derive_rng) or "
+                "thread a generator parameter through"
+            )
+        if birth.kind == "wallclock":
+            return (
+                f"RNG seeded from the wall clock {where}: {birth.detail}; "
+                "results would differ every run — derive the seed from "
+                "unit identity instead"
+            )
+        if birth.kind == "untracked":
+            return (
+                f"RNG seed with untracked provenance {where}: "
+                f"{birth.detail}; the seed is neither a parameter, an "
+                "attribute, nor derive_rng output, so nothing ties this "
+                "stream to unit identity"
+            )
+        if birth.kind == "bare-derive":
+            return f"{birth.detail} ({where})"
+        if birth.kind in ("tracked", "derived") and fn.rng_params:
+            param = fn.rng_params[0]
+            return (
+                f"{fn.qual} accepts an RNG parameter ({param!r}) but also "
+                f"constructs a second generator: {birth.detail}; draws "
+                "from the two streams interleave unpredictably — use the "
+                "threaded generator (or split it via spawn) instead"
+            )
+        return None

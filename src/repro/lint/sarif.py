@@ -1,0 +1,67 @@
+"""SARIF 2.1.0 serialization of a lint report.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest; emitting it lets CI upload the lint run as an artifact and
+lets hosting platforms annotate diffs with the findings. We emit the
+minimal valid document: one run, the tool's rule metadata, and one
+result per finding with a physical location.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from .engine import LintReport
+from .findings import Severity
+from .registry import Rule
+
+__all__ = ["to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def to_sarif(report: LintReport, rules: Sequence[Rule]) -> Dict:
+    """Render ``report`` as a SARIF 2.1.0 document (a plain dict)."""
+    driver = {
+        "name": "repro-lint",
+        "rules": [
+            {
+                "id": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {
+                    "level": _LEVELS.get(rule.severity, "error")
+                },
+            }
+            for rule in rules
+        ],
+    }
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.rel},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in report.findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }

@@ -82,7 +82,11 @@ class Conv2D(Layer):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        # Deterministic fallback for layers constructed standalone (unit
+        # tests, ad-hoc probes). Every real model path threads the rng
+        # from micro_mobilenet's seed, so this literal never reaches
+        # capture results.
+        rng = rng or np.random.default_rng(0)  # lint: disable=SEED001
         self.stride = stride
         self.pad = pad if pad is not None else kernel // 2
         fan_in = in_channels * kernel * kernel
@@ -119,7 +123,11 @@ class DepthwiseConv2D(Layer):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        # Deterministic fallback for layers constructed standalone (unit
+        # tests, ad-hoc probes). Every real model path threads the rng
+        # from micro_mobilenet's seed, so this literal never reaches
+        # capture results.
+        rng = rng or np.random.default_rng(0)  # lint: disable=SEED001
         self.stride = stride
         self.pad = pad if pad is not None else kernel // 2
         self.params["weight"] = _he_init(rng, (channels, kernel, kernel), kernel * kernel)
@@ -222,7 +230,11 @@ class Dense(Layer):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        # Deterministic fallback for layers constructed standalone (unit
+        # tests, ad-hoc probes). Every real model path threads the rng
+        # from micro_mobilenet's seed, so this literal never reaches
+        # capture results.
+        rng = rng or np.random.default_rng(0)  # lint: disable=SEED001
         self.params["weight"] = _he_init(rng, (out_features, in_features), in_features)
         if bias:
             self.params["bias"] = np.zeros(out_features, dtype=np.float32)

@@ -48,7 +48,11 @@ class InvertedResidual(Layer):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        # Deterministic fallback for layers constructed standalone (unit
+        # tests, ad-hoc probes). Every real model path threads the rng
+        # from micro_mobilenet's seed, so this literal never reaches
+        # capture results.
+        rng = rng or np.random.default_rng(0)  # lint: disable=SEED001
         hidden = in_channels * expand_ratio
         self.use_residual = stride == 1 and in_channels == out_channels
         self.sublayers: List[Layer] = [

@@ -92,20 +92,39 @@ class ServeServer:
             self._handlers.add(task)
             task.add_done_callback(self._handlers.discard)
         write_lock = asyncio.Lock()
+        send_tasks: Set["asyncio.Task"] = set()
 
         async def send(message: Dict) -> None:
-            async with write_lock:
+            # The lock serializes whole frames onto the shared writer —
+            # interleaved partial writes would corrupt the NDJSON stream.
+            # The awaited drain inside it is flow control on this same
+            # writer, so it cannot be hoisted out of the critical section.
+            async with write_lock:  # lint: disable=ASY002
                 if writer.is_closing():
                     return
                 writer.write(encode_message(message))
                 await writer.drain()
 
+        def _send_finished(task: "asyncio.Task") -> None:
+            send_tasks.discard(task)
+            if not task.cancelled():
+                # Retrieve the exception so the loop never warns about an
+                # unconsumed failure; a send can only fail because the
+                # client vanished mid-reply, which the read loop already
+                # handles by closing the connection.
+                task.exception()
+
         def on_done(task: "asyncio.Future[CaptureResponse]") -> None:
             if task.cancelled():
                 return
-            asyncio.get_running_loop().create_task(
+            sender = asyncio.get_running_loop().create_task(
                 send(result_message(task.result()))
             )
+            # Hold a strong reference: the loop keeps only weak ones, so
+            # an unreferenced send task could be garbage collected (and
+            # its reply lost) before it runs.
+            send_tasks.add(sender)
+            sender.add_done_callback(_send_finished)
 
         try:
             while True:

@@ -7,6 +7,7 @@ from repro.lint import (
     lint_paths,
     load_baseline,
     parse_baseline,
+    split_unknown_rules,
     write_baseline,
 )
 
@@ -99,3 +100,33 @@ class TestBudgets:
         )
         assert report.exit_code == 0
         assert report.stale_baseline == (("lab/mod.py", "DET001", 2),)
+
+
+class TestUnknownRules:
+    def test_split_unknown_rules_partitions_the_budget(self):
+        budget = {
+            ("lab/mod.py", "DET001"): 1,
+            ("lab/mod.py", "GONE042"): 2,
+            ("core/old.py", "NOPE999"): 1,
+        }
+        removed = split_unknown_rules(budget, {"DET001", "DET002"})
+        assert removed == (
+            ("core/old.py", "NOPE999", 1),
+            ("lab/mod.py", "GONE042", 2),
+        )
+        assert budget == {("lab/mod.py", "DET001"): 1}
+
+    def test_retired_rule_entry_is_reported_not_silently_stale(self, tmp_path):
+        """Regression: an entry naming a rule that no longer exists used to
+        sit in the budget forever — it could never match a finding, so it
+        was never consumed and never surfaced as stale either. It must be
+        called out explicitly so the line gets deleted."""
+        target = _write(tmp_path, "x = 1\n")
+        report = lint_paths(
+            [target], root=tmp_path,
+            baseline={("lab/mod.py", "GONE042"): 3},
+        )
+        assert report.exit_code == 0
+        assert report.unknown_baseline == (("lab/mod.py", "GONE042", 3),)
+        # Unknown-rule entries are not double-reported as merely stale.
+        assert report.stale_baseline == ()

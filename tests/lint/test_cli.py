@@ -19,7 +19,12 @@ def run_cli(*argv):
 @pytest.fixture
 def clean_file(tmp_path):
     target = tmp_path / "clean.py"
-    target.write_text("import numpy as np\nrng = np.random.default_rng(3)\n")
+    target.write_text(
+        "import numpy as np\n\n\n"
+        "def sample(seed):\n"
+        "    rng = np.random.default_rng(seed)\n"
+        "    return rng.random(3)\n"
+    )
     return target
 
 
@@ -74,7 +79,10 @@ def test_missing_target_is_usage_error(tmp_path, capsys):
 def test_list_rules(capsys):
     assert run_cli("lint", "--list-rules") == 0
     out = capsys.readouterr().out
-    for rule in ("DET001", "DET002", "DET003", "MUT001", "OBS001", "PROC001"):
+    for rule in (
+        "DET001", "DET002", "DET003", "MUT001", "OBS001", "PROC001",
+        "SEED001", "ASY001", "ASY002", "ASY003", "PUR002",
+    ):
         assert rule in out
 
 
@@ -105,3 +113,44 @@ def test_malformed_baseline_is_usage_error(clean_file, tmp_path, capsys):
     baseline = tmp_path / "baseline.txt"
     baseline.write_text("this is not an entry\n")
     assert run_cli("lint", str(clean_file), "--baseline", str(baseline)) == 2
+
+
+def test_stats_flag_prints_analysis_cost(clean_file, capsys):
+    assert run_cli("lint", str(clean_file), "--stats") == 0
+    out = capsys.readouterr().out
+    assert "stats: 1 file(s) analyzed in" in out
+    assert "call graph:" in out
+
+
+def test_sarif_format(dirty_file, capsys):
+    assert run_cli("lint", str(dirty_file), "--format", "sarif") == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert sorted(r["ruleId"] for r in run["results"]) == ["DET001", "DET002"]
+
+
+def test_cache_dir_warm_run_matches_cold(dirty_file, tmp_path, capsys):
+    cache = tmp_path / "cache"
+    args = ("lint", str(dirty_file), "--format", "json",
+            "--cache-dir", str(cache))
+    assert run_cli(*args) == 1
+    cold = json.loads(capsys.readouterr().out)
+    assert run_cli(*args) == 1
+    warm = json.loads(capsys.readouterr().out)
+    # Identical findings cold vs. warm; the warm run served every
+    # summary from the on-disk cache.
+    assert warm["findings"] == cold["findings"]
+    assert cold["stats"]["callgraph"]["cache_misses"] == 1
+    assert warm["stats"]["callgraph"]["cache_hits"] == 1
+    assert warm["stats"]["callgraph"]["cache_misses"] == 0
+
+
+def test_unknown_baseline_rule_is_reported(clean_file, tmp_path, capsys):
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("whatever.py:GONE042: 2\n")
+    assert run_cli("lint", str(clean_file), "--baseline", str(baseline)) == 0
+    out = capsys.readouterr().out
+    assert "names an unknown rule" in out
+    assert "GONE042" in out

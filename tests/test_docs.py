@@ -125,6 +125,33 @@ class TestCliExamplesParse:
             "SERVING.md quotes no `python -m repro loadgen` command"
         )
 
+    def test_architecture_quotes_list_rules_output_verbatim(self):
+        """ARCHITECTURE.md quotes the ``--list-rules`` output; the quoted
+        block must match the live registry line for line, so the docs
+        can never advertise a rule set the linter does not enforce."""
+        from repro.lint import all_rules
+
+        text = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+        block = next(
+            (
+                b for b in _fenced_blocks(text)
+                if b.lstrip().startswith("$ python -m repro lint --list-rules")
+            ),
+            None,
+        )
+        assert block is not None, (
+            "ARCHITECTURE.md no longer quotes `--list-rules` output"
+        )
+        quoted = [line for line in block.splitlines()[1:] if line.strip()]
+        expected = [
+            f"{rule.name}  [{rule.severity}]  {rule.summary}"
+            for rule in all_rules()
+        ]
+        assert quoted == expected, (
+            "quoted --list-rules block is out of date; re-run "
+            "`python -m repro lint --list-rules` and paste the output"
+        )
+
     @pytest.mark.parametrize("command", _all_doc_commands())
     def test_command_parses(self, command):
         from repro.__main__ import build_parser
