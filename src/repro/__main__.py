@@ -554,11 +554,17 @@ def build_parser() -> argparse.ArgumentParser:
         "p50/p95/p99 latency) instead of the kernel cases",
     )
     p.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the lint macro benchmark (whole-program analysis wall "
+        "time, cold vs warm summary cache) instead of the kernel cases",
+    )
+    p.add_argument(
         "--out",
         type=str,
         default=None,
-        help="write the JSON report here (default BENCH_kernels.json, or "
-        "BENCH_serve.json with --serve)",
+        help="write the JSON report here (default BENCH_kernels.json, "
+        "BENCH_serve.json with --serve, or BENCH_lint.json with --lint)",
     )
     p.set_defaults(func=_cmd_bench)
 
@@ -753,6 +759,15 @@ def _cmd_bench(args) -> None:
         report = run_serve_bench(quick=args.quick, seed=args.seed)
         out = args.out or "BENCH_serve.json"
         print(format_serve_report(report))
+        write_report(report, out)
+        print(f"report written to {out}")
+        return
+    if args.lint:
+        from .bench.lint_case import format_lint_report, run_lint_bench
+
+        report = run_lint_bench(quick=args.quick)
+        out = args.out or "BENCH_lint.json"
+        print(format_lint_report(report))
         write_report(report, out)
         print(f"report written to {out}")
         return

@@ -1,0 +1,111 @@
+"""Lint macro benchmark: whole-program analysis, cold vs warm cache.
+
+``python -m repro bench --lint`` runs the full lint gate (all module
+and whole-program rules) over the shipped ``src/repro`` tree twice per
+timed sample: once *cold* into a fresh summary-cache directory and once
+*warm* against the cache the cold run just primed. The report pins the
+two wall times side by side, so ``BENCH_lint.json`` tracks both the
+raw analysis cost and how much of it the sha-keyed
+:class:`~repro.lint.callgraph.SummaryCache` recovers.
+
+The timed work is deterministic — the lint target is the package's own
+source, the rule set is fixed, and the report carries measurements plus
+structural facts (files, nodes, edges, hit counts) but never
+timestamps — so successive files differ only in the seconds columns.
+The run also self-checks the cache contract: warm findings must equal
+cold findings and the warm run must be served entirely from cache.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict
+
+from ..lint import lint_paths
+
+__all__ = ["run_lint_bench", "format_lint_report"]
+
+#: The benchmark target is the shipped package itself.
+PACKAGE_ROOT = Path(__file__).resolve().parents[1]
+
+REPEATS = 3
+QUICK_REPEATS = 1
+
+
+def _lint_once(cache_dir: Path) -> Dict:
+    started = time.perf_counter()
+    report = lint_paths(
+        [PACKAGE_ROOT], root=PACKAGE_ROOT, cache_dir=cache_dir
+    )
+    elapsed = time.perf_counter() - started
+    graph = dict(report.stats.get("callgraph", {}))
+    return {
+        "wall_s": elapsed,
+        "files": report.files,
+        "findings": [f.render() for f in report.findings],
+        "suppressed": report.suppressed,
+        "callgraph": graph,
+    }
+
+
+def run_lint_bench(quick: bool = False, repeats: int = 0) -> Dict:
+    """Run the cold/warm lint pair; returns the JSON-serializable report."""
+    repeats = repeats or (QUICK_REPEATS if quick else REPEATS)
+    best_cold: Dict = {}
+    best_warm: Dict = {}
+    for _ in range(repeats):
+        workdir = Path(tempfile.mkdtemp(prefix="repro-bench-lint-"))
+        try:
+            cold = _lint_once(workdir)
+            warm = _lint_once(workdir)
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        if warm["findings"] != cold["findings"]:
+            raise RuntimeError("summary cache changed the findings")
+        graph = warm["callgraph"]
+        if graph.get("cache_misses"):
+            raise RuntimeError(f"warm lint run missed the cache: {graph}")
+        if not best_cold or cold["wall_s"] < best_cold["wall_s"]:
+            best_cold = cold
+        if not best_warm or warm["wall_s"] < best_warm["wall_s"]:
+            best_warm = warm
+
+    for entry in (best_cold, best_warm):
+        entry["wall_s"] = round(entry["wall_s"], 4)
+    cold_s = best_cold["wall_s"]
+    warm_s = best_warm["wall_s"]
+    return {
+        "bench": "lint",
+        "quick": quick,
+        "repeats": repeats,
+        "target": "src/repro",
+        "cold": best_cold,
+        "warm": best_warm,
+        "speedup_warm_vs_cold": round(cold_s / warm_s, 2) if warm_s > 0 else None,
+    }
+
+
+def format_lint_report(report: Dict) -> str:
+    """Render the lint bench report as a short text block."""
+    lines = []
+    for phase in ("cold", "warm"):
+        entry = report[phase]
+        graph = entry["callgraph"]
+        lines.append(
+            f"{phase}: {entry['wall_s'] * 1e3:.0f} ms over {entry['files']} "
+            f"files ({len(entry['findings'])} finding(s), "
+            f"{entry['suppressed']} suppressed)"
+        )
+        lines.append(
+            f"  callgraph: {graph.get('nodes', 0)} nodes / "
+            f"{graph.get('edges', 0)} edges, cache "
+            f"{graph.get('cache_hits', 0)} hit(s) / "
+            f"{graph.get('cache_misses', 0)} miss(es)"
+        )
+    speedup = report.get("speedup_warm_vs_cold")
+    if speedup:
+        lines.append(f"warm-vs-cold speedup: {speedup:.2f}x")
+    return "\n".join(lines)

@@ -12,6 +12,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..lint.contracts import tensor_contract
+
 __all__ = [
     "rgb_to_ycbcr",
     "ycbcr_to_rgb",
@@ -101,6 +103,7 @@ def hsv_to_rgb(hsv: np.ndarray) -> np.ndarray:
     return rgb.astype(np.float32)
 
 
+@tensor_contract("* float32, _ -> * float32")
 def apply_color_matrix(rgb: np.ndarray, matrix: np.ndarray) -> np.ndarray:
     """Apply a 3x3 color-correction matrix to ``(..., 3)`` pixels."""
     matrix = np.asarray(matrix, dtype=np.float32)
@@ -109,6 +112,7 @@ def apply_color_matrix(rgb: np.ndarray, matrix: np.ndarray) -> np.ndarray:
     return np.asarray(rgb, dtype=np.float32) @ matrix.T
 
 
+@tensor_contract("* float32 -> * float32")
 def srgb_encode(linear: np.ndarray) -> np.ndarray:
     """Linear light -> sRGB-encoded, the standard piecewise curve."""
     linear = np.clip(np.asarray(linear, dtype=np.float32), 0.0, 1.0)
@@ -117,6 +121,7 @@ def srgb_encode(linear: np.ndarray) -> np.ndarray:
     return np.where(linear <= 0.0031308, low, high).astype(np.float32)
 
 
+@tensor_contract("* float32 -> * float32")
 def srgb_decode(encoded: np.ndarray) -> np.ndarray:
     """sRGB-encoded -> linear light, inverse of :func:`srgb_encode`."""
     encoded = np.clip(np.asarray(encoded, dtype=np.float32), 0.0, 1.0)
@@ -125,6 +130,7 @@ def srgb_decode(encoded: np.ndarray) -> np.ndarray:
     return np.where(encoded <= 0.04045, low, high).astype(np.float32)
 
 
+@tensor_contract("* float32 -> (3,) float32")
 def gray_world_gains(rgb: np.ndarray) -> np.ndarray:
     """Estimate white-balance gains with the gray-world assumption.
 
@@ -138,6 +144,7 @@ def gray_world_gains(rgb: np.ndarray) -> np.ndarray:
     return gains.astype(np.float32)
 
 
+@tensor_contract("* float32, _ -> * float32")
 def apply_wb_gains(rgb: np.ndarray, gains: Sequence[float]) -> np.ndarray:
     """Multiply each channel by its white-balance gain."""
     gains_arr = np.asarray(gains, dtype=np.float32)

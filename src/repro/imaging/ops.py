@@ -9,6 +9,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import ndimage
 
+from ..lint.contracts import tensor_contract
+
 __all__ = [
     "bilinear_resize",
     "center_crop",
@@ -22,6 +24,7 @@ __all__ = [
 ]
 
 
+@tensor_contract("* float32, _, _ -> * float32")
 def bilinear_resize(image: np.ndarray, height: int, width: int) -> np.ndarray:
     """Resize an ``(H, W)`` or ``(H, W, C)`` image with bilinear sampling.
 
@@ -88,6 +91,7 @@ def pad_to_multiple(image: np.ndarray, multiple: int, mode: str = "edge") -> np.
     return np.pad(image, pads, mode=mode)
 
 
+@tensor_contract("_, _ -> (K,) float32")
 def gaussian_kernel1d(sigma: float, radius: int | None = None) -> np.ndarray:
     """A normalized 1-D Gaussian kernel."""
     if sigma <= 0:
@@ -99,6 +103,7 @@ def gaussian_kernel1d(sigma: float, radius: int | None = None) -> np.ndarray:
     return (kernel / kernel.sum()).astype(np.float32)
 
 
+@tensor_contract("* float32, _ -> * float32")
 def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
     """Separable Gaussian blur on an ``(H, W)`` or ``(H, W, C)`` image."""
     if sigma <= 0:

@@ -25,6 +25,7 @@ from scipy import ndimage
 from ..imaging.color import apply_color_matrix, apply_wb_gains, gray_world_gains, srgb_encode
 from ..imaging.image import BAYER_PATTERNS, RawImage
 from ..imaging.ops import bilinear_resize, gaussian_blur, unsharp_mask
+from ..lint.contracts import tensor_contract
 
 __all__ = [
     "ISPState",
@@ -88,6 +89,7 @@ class BlackLevelCorrection(ISPStage):
         return state
 
 
+@tensor_contract("(H, W) float32, _ -> (H, W, 3) float32")
 def _bilinear_demosaic(mosaic: np.ndarray, pattern: str) -> np.ndarray:
     """Normalized-convolution bilinear demosaic."""
     h, w = mosaic.shape
@@ -140,6 +142,7 @@ _MALVAR_RB_AT_OPPOSITE = np.array(
 ) / 8.0
 
 
+@tensor_contract("(H, W) float32, _ -> (H, W, 3) float32")
 def _malvar_demosaic(mosaic: np.ndarray, pattern: str) -> np.ndarray:
     """Malvar-He-Cutler gradient-corrected linear demosaic.
 

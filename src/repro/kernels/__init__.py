@@ -40,6 +40,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import obs
+from ..lint.contracts import tensor_contract
 from . import fast, reference
 from .layout import scan_layout
 
@@ -191,6 +192,7 @@ def decode_jpeg_scan(
 # ----------------------------------------------------------------------
 # PNG filtering
 # ----------------------------------------------------------------------
+@tensor_contract("(H, C) intN, _ -> _")
 def png_filter_scanlines(raw: np.ndarray, backend: Optional[str] = None) -> bytes:
     """Adaptive PNG filter search over the ``(H, W*3)`` scanline matrix.
 
@@ -214,6 +216,7 @@ def png_filter_scanlines(raw: np.ndarray, backend: Optional[str] = None) -> byte
 # is already C-speed; these entry points exist so every codec's entropy
 # stage flows through the same dispatch/observability choke point. Both
 # backends are byte-identical by construction (it is the same zlib call).
+@tensor_contract("* intN, _ -> _")
 def pack_coefficients(values: np.ndarray, backend: Optional[str] = None) -> bytes:
     """Serialize a quantized-coefficient array as little-endian int16."""
     obs.count(f"kernels.backend.{resolve_backend(backend)}")
@@ -221,6 +224,7 @@ def pack_coefficients(values: np.ndarray, backend: Optional[str] = None) -> byte
     return np.asarray(values).astype("<i2").tobytes()
 
 
+@tensor_contract("_, _ -> (S,) intN")
 def unpack_coefficients(data: bytes, backend: Optional[str] = None) -> np.ndarray:
     """Inverse of :func:`pack_coefficients` (read-only view)."""
     obs.count(f"kernels.backend.{resolve_backend(backend)}")

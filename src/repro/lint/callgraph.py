@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .context import ModuleContext, dotted_name
+from .dataflow import TensorEvent, TensorInfo, analyze_function, analyze_module
 from .rules_determinism import _WALL_CLOCK
 
 __all__ = [
@@ -53,7 +54,9 @@ __all__ = [
 
 #: Bump whenever summary extraction changes shape or semantics; stale
 #: cache files are discarded wholesale rather than misread.
-SUMMARY_VERSION = "repro-lint-summary-v1"
+#: v2: per-function tensor dataflow info + per-module import aliases
+#: (exact link-time resolution replaced the suffix index).
+SUMMARY_VERSION = "repro-lint-summary-v2"
 
 #: Canonical names that construct an RNG from a seed expression.
 _RNG_CONSTRUCTORS = frozenset(
@@ -66,8 +69,8 @@ _RNG_CONSTRUCTORS = frozenset(
 )
 
 #: The blessed derivation family in runner/seeds.py (matched by the
-#: final segment: relative-import flattening means the same function
-#: canonicalizes differently per importing module).
+#: final segment: the same function is legitimately reachable under
+#: its defining name and under package re-export names).
 _DERIVE_FAMILY = frozenset({"derive_rng", "unit_entropy", "seed_component"})
 
 #: Calls that block the calling thread (and therefore the event loop).
@@ -97,6 +100,13 @@ _BLOCKING_ATTRS = frozenset(
 #: ``loop.run_in_executor(...)`` / ``asyncio.to_thread(...)``: calls in
 #: their argument position run off-loop, so they shield blocking work.
 _EXECUTOR_SHIMS = frozenset({"run_in_executor", "to_thread"})
+
+#: Homogeneous-container annotation heads whose element type is worth
+#: tracking: iterating one binds the loop variable to the element class.
+_CONTAINER_NAMES = (
+    "List", "Sequence", "Tuple", "Iterable", "Iterator", "Set", "FrozenSet",
+    "list", "sequence", "tuple", "set", "frozenset",
+)
 
 #: obs helpers that record a measurement; their return value must never
 #: be consumed (statement/with position only) — see OBS001/PUR002.
@@ -185,6 +195,7 @@ class FunctionSummary:
     lock_awaits: Tuple[Fact, ...]
     bare_tasks: Tuple[Fact, ...]
     blocking: Tuple[Fact, ...]
+    tensor: TensorInfo = TensorInfo()
 
     @property
     def key(self) -> str:
@@ -219,6 +230,9 @@ class ModuleSummary:
     sha: str
     functions: Tuple[FunctionSummary, ...]
     classes: Tuple[ClassInfo, ...]
+    #: Import aliases, for exact link-time resolution of re-exports
+    #: (the context is gone when a summary is reloaded from cache).
+    aliases: Tuple[Tuple[str, str], ...] = ()
 
 
 # ----------------------------------------------------------------------
@@ -278,6 +292,7 @@ class _ModuleExtractor:
 
     def run(self) -> Tuple[Tuple[FunctionSummary, ...], Tuple[ClassInfo, ...]]:
         tree = self.ctx.tree
+        self.flow = analyze_module(self.ctx)
         for node in ast.walk(tree):
             if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
                 self.stmt_calls.add(id(node.value))
@@ -457,7 +472,10 @@ class _ModuleExtractor:
 
         ``Optional[X]`` / ``X | None`` unwrap to ``X``: for call-target
         binding, "maybe None" still tells us which class the attribute's
-        methods come from when it is set.
+        methods come from when it is set. Homogeneous containers
+        (``List[X]``, ``Sequence[X]``, ``Tuple[X, ...]``) canonicalize
+        to ``X[]`` — the element type, marked so only *iteration*
+        targets bind to it, never the container itself.
         """
         text = text.strip().strip("'\"")
         while True:
@@ -469,6 +487,14 @@ class _ModuleExtractor:
                 break
         for none_pattern in (" | None", "None | "):
             text = text.replace(none_pattern, "").strip()
+        for container in _CONTAINER_NAMES:
+            for prefix in (f"{container}[", f"typing.{container}["):
+                if text.startswith(prefix) and text.endswith("]"):
+                    inner = text[len(prefix):-1].strip()
+                    if inner.endswith(", ..."):
+                        inner = inner[:-len(", ...")].strip()
+                    elem = self._canon_type(inner)
+                    return f"{elem}[]" if elem else ""
         if not text or not text.replace(".", "").replace("_", "").isalnum():
             return ""
         head, _, tail = text.partition(".")
@@ -494,6 +520,8 @@ class _ModuleExtractor:
                     local_types[a.arg] = canon
         # Pre-pass: local assignments for type binding and seed tracking.
         for stmt in self._shallow_walk(body):
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._bind_loop_element(stmt, cls, local_types)
             if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
                 target = stmt.targets[0]
                 if isinstance(target, ast.Name):
@@ -515,6 +543,11 @@ class _ModuleExtractor:
             self._visit(stmt, facts, params, local_types, local_exprs,
                         qual=qual, cls=cls, shielded=False)
         anchor = node if node is not None else (body[0] if body else None)
+        if node is not None:
+            tensor = analyze_function(node, self.ctx, self.flow)
+        else:
+            # Module-level dataflow events anchor on "<module>".
+            tensor = TensorInfo(events=self.flow.module_events)
         self.functions.append(
             FunctionSummary(
                 qual=qual,
@@ -531,8 +564,42 @@ class _ModuleExtractor:
                 lock_awaits=tuple(facts.lock_awaits),
                 bare_tasks=tuple(facts.bare_tasks),
                 blocking=tuple(facts.blocking),
+                tensor=tensor,
             )
         )
+
+    def _bind_loop_element(self, stmt, cls, local_types) -> None:
+        """``for stage in self.stages:`` binds ``stage`` to the element
+        type of the attribute's container annotation.
+
+        Like ``self.attr.method`` calls, the binding is deferred to link
+        time as ``mod.Cls.<elem>attr`` — the attribute's recorded type
+        must end in ``[]`` (a container) for the element to resolve, so
+        a scalar attribute never leaks a phantom type onto a loop var.
+        ``enumerate(self.attr)`` with a two-name tuple target binds the
+        second name.
+        """
+        target, source = stmt.target, stmt.iter
+        if (
+            isinstance(source, ast.Call)
+            and isinstance(source.func, ast.Name)
+            and source.func.id == "enumerate"
+            and source.args
+        ):
+            source = source.args[0]
+            if isinstance(target, ast.Tuple) and len(target.elts) == 2:
+                target = target.elts[1]
+        if not isinstance(target, ast.Name):
+            return
+        if (
+            cls is not None
+            and isinstance(source, ast.Attribute)
+            and isinstance(source.value, ast.Name)
+            and source.value.id == "self"
+        ):
+            local_types.setdefault(
+                target.id, f"{self.mod}.{cls.name}.<elem>{source.attr}"
+            )
 
     def _shallow_walk(self, body) -> Iterator[ast.AST]:
         """Walk statements without descending into nested defs."""
@@ -839,7 +906,7 @@ def summarize_module(ctx: ModuleContext, sha: str) -> ModuleSummary:
     functions, classes = _ModuleExtractor(ctx).run()
     return ModuleSummary(
         rel=ctx.rel, path=ctx.path, sha=sha, functions=functions,
-        classes=classes,
+        classes=classes, aliases=tuple(sorted(ctx.aliases.items())),
     )
 
 
@@ -917,6 +984,7 @@ def _summary_to_dict(summary: ModuleSummary) -> Dict:
                 "lock_awaits": [_fact_to_list(x) for x in f.lock_awaits],
                 "bare_tasks": [_fact_to_list(x) for x in f.bare_tasks],
                 "blocking": [_fact_to_list(x) for x in f.blocking],
+                "tensor": _tensor_to_dict(f.tensor),
             }
             for f in summary.functions
         ],
@@ -928,7 +996,31 @@ def _summary_to_dict(summary: ModuleSummary) -> Dict:
             }
             for c in summary.classes
         ],
+        "aliases": [list(pair) for pair in summary.aliases],
     }
+
+
+def _tensor_to_dict(info: TensorInfo) -> Dict:
+    return {
+        "contract": info.contract,
+        "params": list(info.params),
+        "returns": info.returns,
+        "returns_call": info.returns_call,
+        "events": [[e.kind, e.line, e.col, e.detail] for e in info.events],
+    }
+
+
+def _tensor_from_dict(data: Dict) -> TensorInfo:
+    return TensorInfo(
+        contract=data.get("contract"),
+        params=tuple(data.get("params", ())),
+        returns=data.get("returns", "top:*"),
+        returns_call=data.get("returns_call"),
+        events=tuple(
+            TensorEvent(e[0], int(e[1]), int(e[2]), str(e[3]))
+            for e in data.get("events", ())
+        ),
+    )
 
 
 def _fact_to_list(fact: Fact) -> List:
@@ -959,6 +1051,7 @@ def _summary_from_dict(data: Dict) -> ModuleSummary:
             lock_awaits=tuple(_fact_from_list(x) for x in f["lock_awaits"]),
             bare_tasks=tuple(_fact_from_list(x) for x in f["bare_tasks"]),
             blocking=tuple(_fact_from_list(x) for x in f["blocking"]),
+            tensor=_tensor_from_dict(f["tensor"]),
         )
         for f in data["functions"]
     )
@@ -973,6 +1066,7 @@ def _summary_from_dict(data: Dict) -> ModuleSummary:
     return ModuleSummary(
         rel=data["rel"], path=data["path"], sha=data["sha"],
         functions=functions, classes=classes,
+        aliases=tuple((a, b) for a, b in data.get("aliases", ())),
     )
 
 
@@ -987,17 +1081,13 @@ class Program:
         self.stats = stats
         self.functions: Dict[str, FunctionSummary] = {}
         self.classes: Dict[str, ClassInfo] = {}
-        self._suffixes: Dict[str, List[str]] = {}
-        self._class_suffixes: Dict[str, List[str]] = {}
+        self._module_aliases: Dict[str, Dict[str, str]] = {}
         for mod in self.modules:
             for fn in mod.functions:
                 self.functions[fn.key] = fn
             for cls in mod.classes:
                 self.classes[cls.key] = cls
-        for key in self.functions:
-            self._register(self._suffixes, key)
-        for key in self.classes:
-            self._register(self._class_suffixes, key)
+            self._module_aliases[module_name(mod.rel)] = dict(mod.aliases)
         self._edges: Dict[str, List[Tuple[CallSite, Optional[str]]]] = {}
         edge_count = 0
         for key, fn in self.functions.items():
@@ -1009,22 +1099,83 @@ class Program:
                     edge_count += 1
             self._edges[key] = resolved
         self._blocking_memo: Dict[str, Optional[Tuple[str, ...]]] = {}
+        self._overrides = self._override_map()
         stats["nodes"] = len(self.functions)
         stats["edges"] = edge_count
 
-    @staticmethod
-    def _register(index: Dict[str, List[str]], key: str) -> None:
-        parts = key.split(".")
-        for start in range(len(parts) - 1):
-            index.setdefault(".".join(parts[start:]), []).append(key)
+    def _override_map(self) -> Dict[str, Tuple[str, ...]]:
+        """Class-hierarchy dispatch: base method key -> override keys.
 
-    def _lookup(self, index: Dict[str, List[str]], target: str) -> Optional[str]:
-        for candidate in (target, target[6:] if target.startswith("repro.") else None):
-            if not candidate:
+        A call that statically links to ``Base.m`` may dynamically
+        dispatch to any subclass override, so :meth:`reachable` fans out
+        through this map. Blocking propagation deliberately does *not*:
+        a may-dispatch guess is the right bias for taint reachability
+        (miss nothing) and the wrong one for ASY001 (every guess risks a
+        false "this blocks").
+        """
+        children: Dict[str, List[str]] = {}
+        for key, cls in self.classes.items():
+            for base in cls.bases:
+                base_key = self._resolve_name(base, self.classes)
+                if base_key is not None:
+                    children.setdefault(base_key, []).append(key)
+        overrides: Dict[str, Tuple[str, ...]] = {}
+        for base_key, cls in self.classes.items():
+            for method in cls.methods:
+                base_method = f"{base_key}.{method}"
+                if base_method not in self.functions:
+                    continue
+                found = []
+                stack = list(children.get(base_key, []))
+                seen: Set[str] = set()
+                while stack:
+                    sub = stack.pop()
+                    if sub in seen:
+                        continue
+                    seen.add(sub)
+                    candidate = f"{sub}.{method}"
+                    if candidate in self.functions:
+                        found.append(candidate)
+                    stack.extend(children.get(sub, []))
+                if found:
+                    overrides[base_method] = tuple(sorted(found))
+        return overrides
+
+    def _chase_alias(self, target: str) -> Optional[str]:
+        """One re-export hop: rebase ``target`` through the alias map of
+        its longest known module prefix.
+
+        ``repro.runner.CaptureCache.get`` is not a definition key, but
+        ``repro.runner`` is a known module whose ``__init__`` binds
+        ``CaptureCache`` to ``repro.runner.cache.CaptureCache`` — so the
+        target rebases to ``repro.runner.cache.CaptureCache.get``.
+        """
+        parts = target.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            aliases = self._module_aliases.get(".".join(parts[:cut]))
+            if aliases is None:
                 continue
-            hits = index.get(candidate)
-            if hits and len(hits) == 1:
-                return hits[0]
+            resolved = aliases.get(parts[cut])
+            if resolved is None:
+                return None
+            return ".".join([resolved] + parts[cut + 1:])
+        return None
+
+    def _resolve_name(self, target: str, index: Dict[str, object]) -> Optional[str]:
+        """Exact qualified-name resolution with re-export chasing.
+
+        A target either *is* a definition key or rebases through module
+        alias maps (``from .cache import CaptureCache`` in an
+        ``__init__``) until it is one — no suffix matching, so two
+        same-named helpers in sibling packages can never cross-link.
+        """
+        seen: Set[str] = set()
+        current: Optional[str] = target
+        while current is not None and current not in seen:
+            if current in index:
+                return current
+            seen.add(current)
+            current = self._chase_alias(current)
         return None
 
     def _resolve_site(
@@ -1038,14 +1189,27 @@ class Program:
             # recorded attribute types, then method resolution.
             prefix, _, rest = target.partition(".<attr>")
             attr, _, method = rest.partition(".")
-            cls = self._lookup(self._class_suffixes, prefix)
+            cls = self._resolve_name(prefix, self.classes)
             if cls is None:
                 return None
             attr_type = dict(self.classes[cls].attr_types).get(attr)
-            if attr_type is None:
+            if attr_type is None or attr_type.endswith("[]"):
                 return None
             target = f"{attr_type}.{method}"
-        hit = self._lookup(self._suffixes, target)
+        elif "<elem>" in target:
+            # "mod.Cls.<elem>name.method": a loop variable over the
+            # container attribute "name" — the method belongs to the
+            # container's *element* class (recorded as "Elem[]").
+            prefix, _, rest = target.partition(".<elem>")
+            attr, _, method = rest.partition(".")
+            cls = self._resolve_name(prefix, self.classes)
+            if cls is None:
+                return None
+            attr_type = dict(self.classes[cls].attr_types).get(attr)
+            if attr_type is None or not attr_type.endswith("[]"):
+                return None
+            target = f"{attr_type[:-2]}.{method}"
+        hit = self._resolve_name(target, self.functions)
         if hit is not None:
             return hit
         # Method-resolution fallback: walk base classes for inherited
@@ -1053,16 +1217,16 @@ class Program:
         owner_cls, _, method = target.rpartition(".")
         if not owner_cls:
             return None
-        cls_key = self._lookup(self._class_suffixes, owner_cls)
+        cls_key = self._resolve_name(owner_cls, self.classes)
         seen: Set[str] = set()
         while cls_key is not None and cls_key not in seen:
             seen.add(cls_key)
-            hit = self._lookup(self._suffixes, f"{cls_key}.{method}")
+            hit = self._resolve_name(f"{cls_key}.{method}", self.functions)
             if hit is not None:
                 return hit
             bases = self.classes[cls_key].bases
             cls_key = (
-                self._lookup(self._class_suffixes, bases[0]) if bases else None
+                self._resolve_name(bases[0], self.classes) if bases else None
             )
         return None
 
@@ -1106,7 +1270,13 @@ class Program:
 
     # -- reachability ---------------------------------------------------
     def reachable(self, roots: Sequence[str]) -> Dict[str, Optional[str]]:
-        """BFS over resolved edges: reachable key -> predecessor key."""
+        """BFS over resolved edges: reachable key -> predecessor key.
+
+        Calls linked to a base-class method also fan out to every
+        subclass override (see :meth:`_override_map`), so a pipeline
+        dispatching ``stage.process(state)`` over ``List[ISPStage]``
+        reaches each concrete stage body.
+        """
         parents: Dict[str, Optional[str]] = {}
         queue = []
         for root in roots:
@@ -1116,9 +1286,12 @@ class Program:
         while queue:
             current = queue.pop(0)
             for _site, callee in self.callees(current):
-                if callee is not None and callee not in parents:
-                    parents[callee] = current
-                    queue.append(callee)
+                if callee is None:
+                    continue
+                for nxt in (callee,) + self._overrides.get(callee, ()):
+                    if nxt not in parents:
+                        parents[nxt] = current
+                        queue.append(nxt)
         return parents
 
     def trace(self, roots: Sequence[str], target: str) -> Optional[List[str]]:

@@ -36,13 +36,31 @@ def dotted_name(node: ast.AST) -> Optional[Tuple[str, ...]]:
     return None
 
 
-def _collect_aliases(tree: ast.AST) -> Dict[str, str]:
+def _package_parts(rel: str) -> list:
+    """Package path of the module at ``rel``, as parts under ``repro``.
+
+    ``"runner/seeds.py"`` lives in package ``["runner"]``;
+    ``"runner/__init__.py"`` *is* package ``["runner"]``; a top-level
+    ``"cli.py"`` lives in the root package ``[]``.
+    """
+    parts = (rel[:-3] if rel.endswith(".py") else rel).split("/")
+    parts = [p for p in parts if p]
+    if parts and parts[-1] == "__init__":
+        return parts[:-1]
+    return parts[:-1]
+
+
+def _collect_aliases(tree: ast.AST, rel: str = "") -> Dict[str, str]:
     """Map locally bound names to canonical dotted module paths.
 
-    Relative imports are rooted at ``repro`` by convention — the linter
-    targets this one package, and scratch files outside it simply have
-    no relative imports to resolve.
+    Relative imports are rooted at ``repro`` by convention (the linter
+    targets this one package) and resolved against the importing
+    module's own package depth: in ``runner/seeds.py``, ``from . import
+    cache`` binds ``repro.runner.cache`` and ``from ..obs import span``
+    binds ``repro.obs.span``. Without ``rel`` (scratch parses), level-1
+    imports anchor at the root package — the pre-existing behaviour.
     """
+    package = _package_parts(rel)
     aliases: Dict[str, str] = {}
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
@@ -52,7 +70,11 @@ def _collect_aliases(tree: ast.AST) -> Dict[str, str]:
                 aliases[bound] = canonical
         elif isinstance(node, ast.ImportFrom):
             if node.level:
-                base = "repro" + (f".{node.module}" if node.module else "")
+                keep = max(len(package) - (node.level - 1), 0)
+                parts = ["repro"] + package[:keep]
+                if node.module:
+                    parts.append(node.module)
+                base = ".".join(parts)
             else:
                 base = node.module or ""
             for name in node.names:
@@ -81,7 +103,7 @@ class ModuleContext:
             rel=rel,
             tree=tree,
             lines=tuple(source.splitlines()),
-            aliases=_collect_aliases(tree),
+            aliases=_collect_aliases(tree, rel),
         )
 
     def resolve(self, node: ast.AST) -> Optional[str]:

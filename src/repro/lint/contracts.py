@@ -1,0 +1,156 @@
+"""Tensor contracts: declared dtype/shape signatures the analyzer checks.
+
+A contract is one string on a function::
+
+    @tensor_contract("(H, W) float32, _ -> (H, W, 3) float32")
+    def demosaic(mosaic, pattern): ...
+
+Grammar (whitespace-insensitive)::
+
+    contract := [params] "->" ret
+    params   := param ("," param)*          # split at paren depth 0
+    param    := "_"                         # any value; not analyzed
+              | [shape] dtype
+    ret      := param
+    shape    := "(" dims? ")"               # omitted shape = scalar "()"
+              | "*"                         # any rank
+    dims     := dim ("," dim)* [","]        # "(K,)" tolerates the tuple comma
+    dim      := INT | IDENT | "?"           # IDENT is a symbolic axis
+    dtype    := bool | intN | float32 | float64 | any
+
+Params map positionally onto the function's parameters, skipping a
+leading ``self``/``cls``. A leading symbolic ``N`` dim marks the batch
+axis: SHAPE001 proves the function never reduces, reshapes across,
+boolean-masks, or index-couples that axis, which is exactly the
+precondition for lifting a stage to ``(N, H, W, C)`` batches.
+
+At runtime the decorator is a no-op beyond validating the spec once at
+import time and stashing it on ``__tensor_contract__`` — no wrapper, no
+per-call cost. The static analyzer (:mod:`repro.lint.dataflow`) reads
+the decorator *syntactically*, so contracts work on files that are
+linted without ever being imported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, TypeVar
+
+from .lattice import (
+    AbstractValue,
+    Shape,
+    TOP,
+    dtype_from_name,
+)
+
+__all__ = ["Contract", "ContractError", "parse_contract", "tensor_contract"]
+
+F = TypeVar("F", bound=Callable)
+
+
+class ContractError(ValueError):
+    """Raised for a malformed contract spec."""
+
+
+@dataclass(frozen=True)
+class Contract:
+    """Parsed contract: one abstract value per covered param + return.
+
+    ``None`` entries are ``_`` placeholders (param not analyzed).
+    """
+
+    spec: str
+    params: Tuple[Optional[AbstractValue], ...]
+    returns: Optional[AbstractValue]
+
+
+def _split_params(text: str) -> List[str]:
+    """Split on commas at paren depth 0."""
+    parts, depth, start = [], 0, 0
+    for i, ch in enumerate(text):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ContractError(f"unbalanced ')' in {text!r}")
+        elif ch == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    if depth:
+        raise ContractError(f"unbalanced '(' in {text!r}")
+    parts.append(text[start:])
+    return parts
+
+
+def _parse_dim(token: str):
+    token = token.strip()
+    if token == "?":
+        return None
+    if token.lstrip("-").isdigit():
+        value = int(token)
+        if value < 0:
+            raise ContractError(f"negative dim {token!r}")
+        return value
+    if token.isidentifier():
+        return token
+    raise ContractError(f"bad dim {token!r}")
+
+
+def _parse_one(text: str, spec: str) -> Optional[AbstractValue]:
+    text = text.strip()
+    if not text:
+        raise ContractError(f"empty component in contract {spec!r}")
+    if text == "_":
+        return None
+    shape = Shape.scalar()
+    if text.startswith("("):
+        close = text.rfind(")")
+        if close < 0:
+            raise ContractError(f"unbalanced '(' in contract {spec!r}")
+        inner = text[1:close].strip()
+        tokens = inner.split(",") if inner else []
+        if tokens and not tokens[-1].strip():
+            tokens.pop()  # Python-style single-dim tuple: "(K,)"
+        dims = tuple(_parse_dim(t) for t in tokens)
+        shape = Shape(dims)
+        text = text[close + 1:].strip()
+    elif text.startswith("*"):
+        shape = Shape.unknown()
+        text = text[1:].strip()
+    if not text:
+        raise ContractError(f"missing dtype in contract {spec!r}")
+    if not text.replace("_", "").isalnum():
+        raise ContractError(f"bad dtype {text!r} in contract {spec!r}")
+    dtype = TOP if text == "any" else dtype_from_name(text)
+    if dtype is TOP and text != "any":
+        raise ContractError(f"unknown dtype {text!r} in contract {spec!r}")
+    return AbstractValue(dtype=dtype, shape=shape)
+
+
+def parse_contract(spec: str) -> Contract:
+    """Parse a contract spec; raises :class:`ContractError` if malformed."""
+    if spec.count("->") != 1:
+        raise ContractError(f"contract needs exactly one '->': {spec!r}")
+    params_text, _, ret_text = spec.partition("->")
+    params_text = params_text.strip()
+    params: Tuple[Optional[AbstractValue], ...] = ()
+    if params_text:
+        params = tuple(_parse_one(p, spec) for p in _split_params(params_text))
+    returns = _parse_one(ret_text, spec)
+    return Contract(spec=spec, params=params, returns=returns)
+
+
+def tensor_contract(spec: str) -> Callable[[F], F]:
+    """Declare a dtype/shape contract the lint gate checks statically.
+
+    Validates ``spec`` once at import time (a typo fails fast, in any
+    test that imports the module) and returns the function unchanged.
+    """
+    parse_contract(spec)
+
+    def decorate(fn: F) -> F:
+        fn.__tensor_contract__ = spec  # type: ignore[attr-defined]
+        return fn
+
+    return decorate

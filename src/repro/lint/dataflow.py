@@ -1,0 +1,1082 @@
+"""Intraprocedural abstract interpreter over ndarray values.
+
+This is the engine under the NUM001/NUM002/SHAPE001 rules: it walks one
+function body, tracking an :class:`~repro.lint.lattice.AbstractValue`
+(dtype x shape x scalar-weakness) per local name, and records
+:class:`TensorEvent` s at the sites the rules care about:
+
+``promotion``
+    A *strong* float32 value met a *strong* float64 value with no
+    explicit ``astype``/``dtype=`` — the silent widening the paper's
+    drift characterization starts from. Python float literals are weak
+    scalars and do not fire (``f32 * 0.5`` stays float32 under both
+    value-based casting and NEP 50); ``np.float64(x)``, default-dtype
+    constructors (``np.array([0.5])``, ``np.zeros``, ``np.linspace``)
+    and rng draws are strong and do.
+``reduction``
+    An axis-free order-sensitive float reduction (``sum`` / ``mean`` /
+    ``cumsum`` / ``nansum`` / ``nanmean``) on a known rank>=2 strong
+    float array — accumulation order over a flattened buffer is exactly
+    the DET003 analogue for floats. ``dot``/``matmul`` are deliberately
+    *not* events: their contraction axis is fixed by the shapes, so
+    there is no axis discipline to forget (reordering them is a kernel
+    choice, which the bit-identical kernels invariant already pins).
+``batch-reduce`` / ``batch-mask`` / ``batch-index`` / ``batch-reshape``
+    An operation that reduces, boolean-masks, integer-indexes, or
+    reshapes across a *leading symbolic batch axis* ``N`` declared by a
+    :func:`~repro.lint.contracts.tensor_contract` — the four ways a
+    stage can couple items of a batch and break per-item equivalence
+    with the serial path.
+``contract`` / ``contract-parse``
+    The declared contract disagrees with the inferred return value
+    (stale or wrong contract), or the spec string does not parse.
+
+Only same-module knowledge feeds the interpreter (contracted local
+callees return their declared value; cross-module calls are ``top``),
+so a function's :class:`TensorInfo` depends on its own module's source
+alone and is safe to cache by content sha. A single-return forward of
+an unresolved ``repro.*`` call is recorded in ``returns_call`` so the
+SHAPE001 pass can chase the chain at link time, where every module's
+summary is in hand.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .context import ModuleContext, dotted_name
+from .lattice import (
+    AbstractValue,
+    BATCH_AXIS,
+    BOOL,
+    FLOAT32,
+    FLOAT64,
+    INTN,
+    TOP,
+    TOP_VALUE,
+    Shape,
+    dtype_from_name,
+    encode_value,
+)
+from .contracts import Contract, ContractError, parse_contract
+
+__all__ = [
+    "TensorEvent",
+    "TensorInfo",
+    "analyze_function",
+    "analyze_module",
+    "contract_spec",
+]
+
+#: Axis-free reductions whose float accumulation order is unspecified.
+_ORDER_SENSITIVE = frozenset({"sum", "mean", "cumsum", "nansum", "nanmean"})
+
+#: All reduction-shaped methods/functions we model (shape effects).
+_REDUCTIONS = _ORDER_SENSITIVE | frozenset(
+    {"prod", "std", "var", "max", "min", "amax", "amin", "any", "all",
+     "argmax", "argmin", "median", "nanmax", "nanmin"}
+)
+
+#: Reductions that keep the input shape instead of dropping the axis.
+_SHAPE_KEEPING = frozenset({"cumsum"})
+
+#: numpy constructors that default to float64 when no dtype is given.
+_F64_CONSTRUCTORS = frozenset(
+    {"zeros", "ones", "empty", "full", "linspace", "eye", "identity",
+     "geomspace", "logspace"}
+)
+
+#: Generator draw methods returning float64 (strong) by default.
+_RNG_FLOAT_DRAWS = frozenset(
+    {"normal", "uniform", "random", "standard_normal", "beta", "gamma",
+     "exponential", "poisson_lam", "lognormal", "laplace"}
+)
+_RNG_INT_DRAWS = frozenset({"integers", "poisson", "binomial", "choice",
+                            "permutation"})
+
+#: Elementwise ufuncs that return true floats even on integer input.
+_FLOAT_UFUNCS = frozenset(
+    {"sqrt", "exp", "log", "log2", "log10", "sin", "cos", "tan", "arctan2",
+     "hypot", "expm1", "log1p", "cbrt", "reciprocal"}
+)
+#: Elementwise ufuncs preserving the input dtype.
+_PASSTHROUGH_UFUNCS = frozenset(
+    {"abs", "absolute", "negative", "positive", "rint", "sign", "floor",
+     "ceil", "trunc", "round", "around", "nan_to_num", "ascontiguousarray",
+     "copy", "squeeze", "sort", "flip", "roll"}
+)
+#: Binary elementwise numpy functions (promotion can fire inside).
+_BINARY_UFUNCS = frozenset(
+    {"add", "subtract", "multiply", "divide", "true_divide", "minimum",
+     "maximum", "power", "mod", "remainder", "fmin", "fmax", "arctan2",
+     "hypot", "clip"}
+)
+#: Contractions: dtype promotes like a binary op, shape is lost.
+_CONTRACTIONS = frozenset({"dot", "matmul", "tensordot", "inner", "outer",
+                           "vdot", "einsum"})
+
+
+@dataclass(frozen=True)
+class TensorEvent:
+    """One located dataflow fact a numeric rule may turn into a finding."""
+
+    kind: str  #: promotion | reduction | batch-* | contract | contract-parse
+    line: int
+    col: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class TensorInfo:
+    """Per-function dataflow result, serialized into the summary cache.
+
+    ``params``/``returns`` are :func:`~repro.lint.lattice.encode_value`
+    strings (JSON-stable); ``returns_call`` names an unresolved
+    ``repro.*`` call the function forwards its return from, for
+    link-time contract chasing.
+    """
+
+    contract: Optional[str] = None
+    params: Tuple[str, ...] = ()
+    returns: str = "top:*"
+    returns_call: Optional[str] = None
+    events: Tuple[TensorEvent, ...] = ()
+
+
+def contract_spec(node: ast.AST, ctx: ModuleContext) -> Optional[str]:
+    """The ``@tensor_contract("...")`` spec on a def, read syntactically."""
+    for deco in getattr(node, "decorator_list", ()):
+        if not isinstance(deco, ast.Call):
+            continue
+        canon = ctx.resolve(deco.func) or ""
+        if canon.rsplit(".", 1)[-1] != "tensor_contract":
+            continue
+        if deco.args and isinstance(deco.args[0], ast.Constant) \
+                and isinstance(deco.args[0].value, str):
+            return deco.args[0].value
+    return None
+
+
+def _broadcast(a: Shape, b: Shape) -> Shape:
+    """NumPy broadcasting on the shape lattice (conservative)."""
+    if a.dims == ():
+        return b
+    if b.dims == ():
+        return a
+    if a.dims is None or b.dims is None:
+        return Shape(None)
+    small, big = sorted((a.dims, b.dims), key=len)
+    pad = len(big) - len(small)
+    out = list(big[:pad])
+    for da, db in zip(big[pad:], small):
+        if da == db:
+            out.append(da)
+        elif da == 1:
+            out.append(db)
+        elif db == 1:
+            out.append(da)
+        else:
+            out.append(None)
+    return Shape(tuple(out))
+
+
+def _dtype_from_node(node: Optional[ast.AST], ctx: ModuleContext):
+    """Dtype named by an ``astype``/``dtype=`` argument, or ``None``."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.lstrip("<>=|")  # struct spellings: "<i2", "<f4"
+        struct = {"i": INTN, "u": INTN, "f": FLOAT32, "d": FLOAT64, "b": BOOL}
+        if text[:1] in struct and text[1:].isdigit():
+            if text[:1] == "f":
+                return FLOAT64 if text[1:] == "8" else FLOAT32
+            return struct[text[:1]]
+        return dtype_from_name(text)
+    canon = ctx.resolve(node)
+    if canon is not None:
+        dt = dtype_from_name(canon)
+        if dt is not TOP:
+            return dt
+        if canon in ("float", "int", "bool"):  # builtins as dtype args
+            return {"float": FLOAT64, "int": INTN, "bool": BOOL}[canon]
+    return None
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+class _Interp:
+    """One pass over one function body; flow-sensitive on locals."""
+
+    def __init__(
+        self,
+        ctx: ModuleContext,
+        module_env: Dict[str, AbstractValue],
+        local_contracts: Dict[str, Contract],
+    ):
+        self.ctx = ctx
+        self.module_env = module_env
+        self.local_contracts = local_contracts
+        self.env: Dict[str, AbstractValue] = {}
+        self.events: List[TensorEvent] = []
+        self.returned: Optional[AbstractValue] = None
+        self.return_calls: List[str] = []
+        self.return_count = 0
+
+    # -- events --------------------------------------------------------
+    def _event(self, kind: str, node: ast.AST, detail: str) -> None:
+        self.events.append(
+            TensorEvent(kind, getattr(node, "lineno", 1),
+                        getattr(node, "col_offset", 0) + 1, detail)
+        )
+
+    # -- statements ----------------------------------------------------
+    def exec_body(self, body) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            self.env[stmt.name] = TOP_VALUE
+        elif isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            current = TOP_VALUE
+            if isinstance(stmt.target, ast.Name):
+                current = self._load(stmt.target.id)
+            value = self._combine(current, self._eval(stmt.value), stmt)
+            self._bind(stmt.target, value)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            self.return_count += 1
+            if stmt.value is None:
+                value = AbstractValue(TOP, Shape(None))
+            else:
+                value = self._eval(stmt.value)
+                if isinstance(stmt.value, ast.Call):
+                    canon = self.ctx.resolve(stmt.value.func)
+                    if canon and canon.startswith("repro.") \
+                            and value is TOP_VALUE:
+                        self.return_calls.append(canon)
+            self.returned = value if self.returned is None \
+                else self.returned.join(value)
+        elif isinstance(stmt, ast.If):
+            before = dict(self.env)
+            self._eval(stmt.test)
+            self.exec_body(stmt.body)
+            after_body = self.env
+            self.env = dict(before)
+            self.exec_body(stmt.orelse)
+            self._merge_env(after_body)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_value = self._eval(stmt.iter)
+            item = AbstractValue(
+                iter_value.dtype, iter_value.shape.drop_axis(0),
+                weak=iter_value.weak,
+            ) if iter_value.shape.dims else TOP_VALUE
+            self._bind(stmt.target, item)
+            # Two passes approximate the loop fixpoint on this chain
+            # lattice (joins only ever move up, so twice is enough for
+            # values fed back through the loop header).
+            for _ in range(2):
+                self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            for _ in range(2):
+                self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, TOP_VALUE)
+            self.exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_body(stmt.body)
+            for handler in stmt.handlers:
+                if handler.name:
+                    self.env[handler.name] = TOP_VALUE
+                self.exec_body(handler.body)
+            self.exec_body(stmt.orelse)
+            self.exec_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.Assert, ast.Delete, ast.Raise)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+
+    def _merge_env(self, other: Dict[str, AbstractValue]) -> None:
+        for name in sorted(set(self.env) | set(other)):
+            a = self.env.get(name, TOP_VALUE)
+            b = other.get(name, TOP_VALUE)
+            self.env[name] = a.join(b)
+
+    def _bind(self, target: ast.AST, value: AbstractValue) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, TOP_VALUE)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, TOP_VALUE)
+        elif isinstance(target, ast.Subscript):
+            # Writing through a batch-coupling index is as unsafe as
+            # reading through one; _subscript records the events.
+            self._eval(target)
+
+    def _load(self, name: str) -> AbstractValue:
+        if name in self.env:
+            return self.env[name]
+        return self.module_env.get(name, TOP_VALUE)
+
+    # -- expressions ---------------------------------------------------
+    def _eval(self, node: ast.expr) -> AbstractValue:
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if isinstance(v, bool):
+                return AbstractValue(BOOL, Shape.scalar(), weak=True)
+            if isinstance(v, int):
+                return AbstractValue(INTN, Shape.scalar(), weak=True)
+            if isinstance(v, float):
+                return AbstractValue(FLOAT64, Shape.scalar(), weak=True)
+            return TOP_VALUE
+        if isinstance(node, ast.Name):
+            return self._load(node.id)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left)
+            right = self._eval(node.right)
+            if isinstance(node.op, (ast.MatMult,)):
+                out = self._combine(left, right, node)
+                return out.with_shape(Shape(None))
+            out = self._combine(left, right, node)
+            if isinstance(node.op, ast.Div) and out.dtype in (BOOL, INTN):
+                out = out.with_dtype(FLOAT64)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand)
+            if isinstance(node.op, ast.Not):
+                return AbstractValue(BOOL, Shape.scalar(), weak=True)
+            return operand
+        if isinstance(node, ast.Compare):
+            shapes = [self._eval(node.left).shape]
+            shapes += [self._eval(c).shape for c in node.comparators]
+            shape = shapes[0]
+            for s in shapes[1:]:
+                shape = _broadcast(shape, s)
+            return AbstractValue(BOOL, shape)
+        if isinstance(node, ast.BoolOp):
+            value = self._eval(node.values[0])
+            for v in node.values[1:]:
+                value = value.join(self._eval(v))
+            return value
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return self._eval(node.body).join(self._eval(node.orelse))
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return self._sequence(node)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, (ast.Await, ast.NamedExpr)):
+            inner = self._eval(node.value)
+            if isinstance(node, ast.NamedExpr):
+                self._bind(node.target, inner)
+            return inner
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            # Events inside comprehensions still count (e.g. a promotion
+            # inside [f32 * strong64 for ...]); targets bind to top.
+            for gen in node.generators:
+                self._eval(gen.iter)
+                self._bind(gen.target, TOP_VALUE)
+                for cond in gen.ifs:
+                    self._eval(cond)
+            if isinstance(node, ast.DictComp):
+                self._eval(node.key)
+                self._eval(node.value)
+            else:
+                self._eval(node.elt)
+            return TOP_VALUE
+        if isinstance(node, ast.Lambda):
+            return TOP_VALUE
+        if isinstance(node, ast.JoinedStr):
+            return TOP_VALUE
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child)
+        return TOP_VALUE
+
+    def _sequence(self, node) -> AbstractValue:
+        if not node.elts:
+            return AbstractValue(TOP, Shape((0,)), weak=True)
+        values = [self._eval(e) for e in node.elts]
+        joined = values[0]
+        for v in values[1:]:
+            joined = joined.join(v)
+        inner = joined.shape.dims
+        dims: Tuple = (len(node.elts),)
+        if inner is not None:
+            dims = dims + inner
+            shape = Shape(dims)
+        else:
+            shape = Shape(None)
+        return AbstractValue(joined.dtype, shape, weak=True)
+
+    # -- promotion-aware combine ---------------------------------------
+    def _combine(self, lv: AbstractValue, rv: AbstractValue,
+                 node: ast.AST) -> AbstractValue:
+        if lv.dtype is TOP or rv.dtype is TOP:
+            dtype = TOP
+        else:
+            la, lb = lv.dtype, rv.dtype
+            l_weak = lv.weak and lv.is_scalar
+            r_weak = rv.weak and rv.is_scalar
+            promoted = (
+                (la is FLOAT32 and lb is FLOAT64 and not r_weak)
+                or (lb is FLOAT32 and la is FLOAT64 and not l_weak)
+            )
+            if promoted:
+                self._event(
+                    "promotion", node,
+                    "float32 meets strong float64 without astype/dtype=",
+                )
+            ea = FLOAT32 if (l_weak and la is FLOAT64 and lb is FLOAT32) else la
+            eb = FLOAT32 if (r_weak and lb is FLOAT64 and la is FLOAT32) else lb
+            dtype = ea.join(eb)
+        return AbstractValue(
+            dtype=dtype,
+            shape=_broadcast(lv.shape, rv.shape),
+            weak=lv.weak and rv.weak,
+        )
+
+    # -- attribute access ----------------------------------------------
+    def _attribute(self, node: ast.Attribute) -> AbstractValue:
+        canon = self.ctx.resolve(node)
+        if canon is not None and canon.startswith("numpy."):
+            tail = canon.rsplit(".", 1)[-1]
+            if tail in ("pi", "e", "euler_gamma", "inf", "nan"):
+                # Module float constants are np.float64 scalars: strong.
+                return AbstractValue(FLOAT64, Shape.scalar())
+        value = self._eval(node.value)
+        if node.attr == "T":
+            dims = value.shape.dims
+            if dims is not None:
+                return value.with_shape(Shape(tuple(reversed(dims))))
+            return value
+        if node.attr in ("real", "imag"):
+            return value
+        if node.attr in ("shape", "ndim", "size", "dtype", "nbytes"):
+            return TOP_VALUE
+        return TOP_VALUE
+
+    # -- calls -----------------------------------------------------------
+    def _args(self, call: ast.Call) -> List[AbstractValue]:
+        return [self._eval(a) for a in call.args]
+
+    def _call(self, call: ast.Call) -> AbstractValue:
+        for kw in call.keywords:
+            if kw.arg not in ("dtype", "axis"):
+                self._eval(kw.value)
+        canon = self.ctx.resolve(call.func)
+        if canon is not None:
+            out = self._numpy_call(call, canon)
+            if out is not None:
+                return out
+            out = self._local_call(call, canon)
+            if out is not None:
+                return out
+            if canon in ("len",):
+                self._args(call)
+                return AbstractValue(INTN, Shape.scalar(), weak=True)
+            if canon in ("float", "int", "bool", "round", "sum", "min",
+                         "max", "abs"):
+                args = self._args(call)
+                builtin = {"float": FLOAT64, "int": INTN, "bool": BOOL}
+                if canon in builtin:
+                    return AbstractValue(builtin[canon], Shape.scalar(),
+                                         weak=True)
+                if args and canon in ("round", "abs", "min", "max"):
+                    return args[0]
+                return TOP_VALUE
+        if isinstance(call.func, ast.Attribute):
+            return self._method_call(call)
+        self._args(call)
+        return TOP_VALUE
+
+    def _local_call(self, call: ast.Call, canon: str) -> Optional[AbstractValue]:
+        """Same-module contracted callee: trust (and check) its contract."""
+        name = canon.rsplit(".", 1)[-1]
+        contract = self.local_contracts.get(name)
+        if contract is None:
+            return None  # caller evaluates args on its fallback path
+        args = self._args(call)
+        for declared, got in zip(contract.params, args):
+            if declared is None or got.weak:
+                continue
+            if TOP not in (declared.dtype, got.dtype) \
+                    and declared.dtype is not got.dtype:
+                self._event(
+                    "contract", call,
+                    f"argument to {name} is {got.dtype.name}, contract "
+                    f"declares {declared.dtype.name}",
+                )
+            elif declared.shape.rank is not None \
+                    and got.shape.rank is not None \
+                    and declared.shape.rank != got.shape.rank:
+                self._event(
+                    "contract", call,
+                    f"argument to {name} has rank {got.shape.rank}, "
+                    f"contract declares rank {declared.shape.rank}",
+                )
+        return contract.returns if contract.returns is not None else TOP_VALUE
+
+    def _numpy_call(self, call: ast.Call, canon: str) -> Optional[AbstractValue]:
+        if not canon.startswith("numpy."):
+            return None
+        parts = canon.split(".")
+        name = parts[-1]
+        dtype_kw = _dtype_from_node(_keyword(call, "dtype"), self.ctx)
+        if name in ("array", "asarray", "asanyarray", "ascontiguousarray"):
+            arg = self._eval(call.args[0]) if call.args else TOP_VALUE
+            dtype = dtype_kw or arg.dtype
+            # np.array of python floats is a strong float64 array.
+            return AbstractValue(dtype, arg.shape)
+        if name in _F64_CONSTRUCTORS:
+            shape = Shape(None)
+            if name in ("eye", "identity"):
+                shape = Shape((None, None))
+            elif name in ("linspace", "geomspace", "logspace"):
+                shape = Shape((None,))
+            elif call.args:
+                shape = self._shape_arg(call.args[0])
+            self._args(call)
+            return AbstractValue(dtype_kw or FLOAT64, shape)
+        if name in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            like = self._eval(call.args[0]) if call.args else TOP_VALUE
+            return AbstractValue(dtype_kw or like.dtype, like.shape)
+        if name == "arange":
+            args = self._args(call)
+            dtype = dtype_kw
+            if dtype is None:
+                dtype = INTN
+                for a in args:
+                    if a.dtype is FLOAT64:
+                        dtype = FLOAT64
+            return AbstractValue(dtype, Shape((None,)))
+        if name == "frombuffer":
+            self._args(call)
+            dtype = dtype_kw
+            if dtype is None and len(call.args) > 1:
+                dtype = _dtype_from_node(call.args[1], self.ctx)
+            return AbstractValue(dtype or FLOAT64, Shape((None,)))
+        if name in ("float16", "float32", "float64", "int8", "int16",
+                    "int32", "int64", "uint8", "uint16", "uint32",
+                    "uint64", "bool_", "intp"):
+            self._args(call)
+            return AbstractValue(dtype_from_name(name), Shape.scalar())
+        if name in ("stack", "concatenate", "vstack", "hstack", "dstack"):
+            if call.args and isinstance(call.args[0], (ast.Tuple, ast.List)):
+                elems = [self._eval(e) for e in call.args[0].elts]
+                joined = elems[0] if elems else TOP_VALUE
+                for v in elems[1:]:
+                    joined = self._combine(joined, v, call)
+                if name == "stack" and joined.shape.dims is not None:
+                    shape = Shape((len(call.args[0].elts),) + joined.shape.dims)
+                else:
+                    shape = Shape(None)
+                return AbstractValue(joined.dtype, shape)
+            self._args(call)
+            return TOP_VALUE
+        if name in _REDUCTIONS:
+            target = self._eval(call.args[0]) if call.args else TOP_VALUE
+            axis = _keyword(call, "axis") or (
+                call.args[1] if len(call.args) > 1 else None
+            )
+            return self._reduction(name, call, target, axis)
+        if name in _CONTRACTIONS:
+            args = self._args(call)
+            out = TOP_VALUE
+            arrays = [a for a in args if a.dtype is not TOP] or args
+            if len(arrays) >= 2:
+                out = self._combine(arrays[0], arrays[1], call)
+            elif arrays:
+                out = arrays[0]
+            return out.with_shape(Shape(None))
+        if name == "where":
+            args = self._args(call)
+            if len(args) == 3:
+                return self._combine(args[1], args[2], call)
+            return TOP_VALUE
+        if name in _BINARY_UFUNCS:
+            args = self._args(call)
+            if len(args) >= 2:
+                return self._combine(args[0], args[1], call)
+            return args[0] if args else TOP_VALUE
+        if name in _FLOAT_UFUNCS:
+            args = self._args(call)
+            if not args:
+                return TOP_VALUE
+            v = args[0]
+            dtype = v.dtype if v.dtype in (FLOAT32, FLOAT64) else (
+                TOP if v.dtype is TOP else FLOAT64
+            )
+            return AbstractValue(dtype, v.shape, weak=v.weak)
+        if name in _PASSTHROUGH_UFUNCS:
+            args = self._args(call)
+            return args[0] if args else TOP_VALUE
+        if name == "transpose":
+            args = self._args(call)
+            if args and args[0].shape.dims is not None:
+                return args[0].with_shape(
+                    Shape(tuple(reversed(args[0].shape.dims)))
+                )
+            return args[0] if args else TOP_VALUE
+        if name == "reshape":
+            target = self._eval(call.args[0]) if call.args else TOP_VALUE
+            return self._reshape(call, target, call.args[1:])
+        if name == "newaxis":
+            return TOP_VALUE
+        if parts[1] == "random":
+            self._args(call)
+            if name in ("default_rng", "Generator", "RandomState",
+                        "SeedSequence"):
+                return TOP_VALUE  # an rng object, not a draw
+            if name in _RNG_INT_DRAWS:
+                return AbstractValue(INTN, Shape(None))
+            return AbstractValue(FLOAT64, Shape(None))
+        self._args(call)
+        return TOP_VALUE
+
+    def _method_call(self, call: ast.Call) -> AbstractValue:
+        attr = call.func.attr
+        recv = self._eval(call.func.value)
+        if attr == "astype":
+            self._args(call)
+            dtype = _dtype_from_node(
+                call.args[0] if call.args else _keyword(call, "dtype"),
+                self.ctx,
+            )
+            return recv.with_dtype(dtype or TOP)
+        if attr in _RNG_FLOAT_DRAWS:
+            self._args(call)
+            return AbstractValue(FLOAT64, Shape(None))
+        if attr in _RNG_INT_DRAWS:
+            self._args(call)
+            return AbstractValue(INTN, Shape(None))
+        if attr in _REDUCTIONS:
+            axis = _keyword(call, "axis") or (
+                call.args[0] if call.args else None
+            )
+            self._args(call)
+            return self._reduction(attr, call, recv, axis)
+        if attr == "reshape":
+            shape_args = call.args
+            if len(shape_args) == 1 and isinstance(
+                shape_args[0], (ast.Tuple, ast.List)
+            ):
+                shape_args = shape_args[0].elts
+            return self._reshape(call, recv, shape_args)
+        if attr in ("ravel", "flatten"):
+            if recv.shape.leading_batch:
+                self._event(
+                    "batch-reshape", call,
+                    f".{attr}() flattens across the leading batch axis N",
+                )
+            return recv.with_shape(Shape((None,)))
+        if attr == "transpose":
+            self._args(call)
+            if recv.shape.dims is not None:
+                return recv.with_shape(Shape(tuple(reversed(recv.shape.dims))))
+            return recv
+        if attr in ("copy", "clip", "round", "squeeze", "view"):
+            self._args(call)
+            return recv
+        if attr in ("tobytes", "tolist", "item"):
+            self._args(call)
+            return TOP_VALUE
+        if attr in ("dot", "matmul"):
+            args = self._args(call)
+            out = recv
+            if args:
+                out = self._combine(recv, args[0], call)
+            return out.with_shape(Shape(None))
+        if attr == "fill":
+            args = self._args(call)
+            if args:
+                self._combine(recv, args[0], call)
+            return TOP_VALUE
+        self._args(call)
+        return TOP_VALUE
+
+    def _shape_arg(self, node: ast.AST) -> Shape:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return Shape((node.value,))
+        if isinstance(node, (ast.Tuple, ast.List)):
+            dims = []
+            for elt in node.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, int):
+                    dims.append(elt.value)
+                else:
+                    self._eval(elt)
+                    dims.append(None)
+            return Shape(tuple(dims))
+        self._eval(node)
+        return Shape(None)
+
+    # -- reductions ------------------------------------------------------
+    def _axis_value(self, axis_node: Optional[ast.AST]) -> Tuple[bool, Optional[int]]:
+        """(axis given?, constant axis if single int)."""
+        if axis_node is None:
+            return False, None
+        if isinstance(axis_node, ast.Constant):
+            if axis_node.value is None:
+                return False, None  # axis=None is axis-free
+            if isinstance(axis_node.value, int):
+                return True, axis_node.value
+        if isinstance(axis_node, ast.UnaryOp) \
+                and isinstance(axis_node.op, ast.USub) \
+                and isinstance(axis_node.operand, ast.Constant) \
+                and isinstance(axis_node.operand.value, int):
+            return True, -axis_node.operand.value
+        return True, None
+
+    def _reduction(self, name: str, call: ast.Call, target: AbstractValue,
+                   axis_node: Optional[ast.AST]) -> AbstractValue:
+        has_axis, axis = self._axis_value(axis_node)
+        rank = target.shape.rank
+        if not has_axis:
+            if (
+                name in _ORDER_SENSITIVE
+                and target.dtype in (FLOAT32, FLOAT64)
+                and not target.weak
+                and rank is not None
+                and rank >= 2
+            ):
+                self._event(
+                    "reduction", call,
+                    f"axis-free {name}() flattens a rank-{rank} "
+                    f"{target.dtype.name} array; accumulation order is "
+                    f"unspecified",
+                )
+            if target.shape.leading_batch:
+                self._event(
+                    "batch-reduce", call,
+                    f"axis-free {name}() reduces over the leading batch "
+                    f"axis N",
+                )
+            if name in _SHAPE_KEEPING:
+                return target.with_shape(Shape((None,)))
+            dtype = self._reduced_dtype(name, target)
+            return AbstractValue(dtype, Shape.scalar())
+        covers_batch = target.shape.leading_batch and (
+            axis == 0 or (axis is not None and rank is not None
+                          and axis % rank == 0)
+        )
+        if covers_batch:
+            self._event(
+                "batch-reduce", call,
+                f"{name}(axis=0) reduces the leading batch axis N",
+            )
+        if name in _SHAPE_KEEPING:
+            return target
+        shape = target.shape.drop_axis(axis) if axis is not None \
+            else Shape(None)
+        return AbstractValue(self._reduced_dtype(name, target), shape)
+
+    def _reduced_dtype(self, name: str, target: AbstractValue):
+        if target.dtype is TOP:
+            return TOP
+        if name in ("any", "all"):
+            return BOOL
+        if name in ("argmax", "argmin"):
+            return INTN
+        if name in ("mean", "std", "var", "median", "nanmean") \
+                and target.dtype in (BOOL, INTN):
+            return FLOAT64
+        if name in ("sum", "nansum", "cumsum", "prod") \
+                and target.dtype is BOOL:
+            return INTN
+        return target.dtype
+
+    # -- reshape ---------------------------------------------------------
+    def _batch_preserving(self, dim_node: ast.AST, recv_node: ast.AST) -> bool:
+        """First new dim provably keeps the batch extent: ``x.shape[0]``
+        or ``len(x)`` (syntactic — anything else is unproven)."""
+        if isinstance(dim_node, ast.Subscript):
+            base = dim_node.value
+            index = dim_node.slice
+            if (
+                isinstance(base, ast.Attribute) and base.attr == "shape"
+                and isinstance(index, ast.Constant) and index.value == 0
+            ):
+                return True
+        if isinstance(dim_node, ast.Call) \
+                and isinstance(dim_node.func, ast.Name) \
+                and dim_node.func.id == "len" and dim_node.args:
+            return True
+        return False
+
+    def _reshape(self, call: ast.Call, recv: AbstractValue,
+                 shape_args) -> AbstractValue:
+        shape_args = list(shape_args)
+        if len(shape_args) == 1 and isinstance(
+            shape_args[0], (ast.Tuple, ast.List)
+        ):
+            shape_args = list(shape_args[0].elts)
+        for node in shape_args:
+            self._eval(node)
+        if recv.shape.leading_batch:
+            if shape_args and self._batch_preserving(shape_args[0], call):
+                dims: Tuple = (BATCH_AXIS,) + tuple(
+                    [None] * (len(shape_args) - 1)
+                )
+                return recv.with_shape(Shape(dims))
+            self._event(
+                "batch-reshape", call,
+                "reshape does not provably preserve the leading batch "
+                "axis N (first dim must be x.shape[0] or len(x))",
+            )
+            return recv.with_shape(Shape(None))
+        dims = []
+        for node in shape_args:
+            if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                    and node.value >= 0:
+                dims.append(node.value)
+            else:
+                dims.append(None)
+        return recv.with_shape(Shape(tuple(dims)) if dims else Shape(None))
+
+    # -- subscripts ------------------------------------------------------
+    def _subscript(self, node: ast.Subscript) -> AbstractValue:
+        value = self._eval(node.value)
+        items = node.slice.elts if isinstance(node.slice, ast.Tuple) \
+            else [node.slice]
+        if value.shape.dims is None:
+            for item in items:
+                if not isinstance(item, (ast.Slice, ast.Constant)):
+                    self._eval(item)
+            return AbstractValue(value.dtype, Shape(None))
+        dims = list(value.shape.dims)
+        out: List = []
+        axis = 0
+        batch = value.shape.leading_batch
+        for item in items:
+            if isinstance(item, ast.Constant) and item.value is Ellipsis:
+                remaining = sum(
+                    1 for it in items[items.index(item) + 1:]
+                    if not (isinstance(it, ast.Constant)
+                            and it.value is None)
+                )
+                while axis < len(dims) - remaining:
+                    out.append(dims[axis])
+                    axis += 1
+                continue
+            if isinstance(item, ast.Constant) and item.value is None:
+                out.append(1)
+                continue
+            canon = self.ctx.resolve(item) if isinstance(
+                item, (ast.Name, ast.Attribute)
+            ) else None
+            if canon == "numpy.newaxis":
+                out.append(1)
+                continue
+            if axis >= len(dims):
+                return AbstractValue(value.dtype, Shape(None))
+            if isinstance(item, ast.Slice):
+                for part in (item.lower, item.upper, item.step):
+                    if part is not None:
+                        self._eval(part)
+                full = item.lower is None and item.upper is None \
+                    and item.step is None
+                out.append(dims[axis] if full else None)
+                axis += 1
+                continue
+            if isinstance(item, ast.Constant) and isinstance(item.value, int):
+                if axis == 0 and batch:
+                    self._event(
+                        "batch-index", node,
+                        "integer index selects within the leading batch "
+                        "axis N (couples batch items)",
+                    )
+                axis += 1
+                continue
+            index = self._eval(item)
+            if index.dtype is BOOL and index.shape.rank not in (0, None):
+                if axis == 0 and batch:
+                    self._event(
+                        "batch-mask", node,
+                        "boolean mask filters the leading batch axis N "
+                        "(result depends on batch composition)",
+                    )
+                span = index.shape.rank or 1
+                axis += span
+                out.append(None)
+                continue
+            if index.dtype in (INTN, BOOL) and index.shape.dims == ():
+                if axis == 0 and batch:
+                    self._event(
+                        "batch-index", node,
+                        "integer index selects within the leading batch "
+                        "axis N (couples batch items)",
+                    )
+                axis += 1
+                continue
+            if index.shape.rank not in (0, None) or index.dtype is INTN:
+                # Fancy integer-array index.
+                if axis == 0 and batch:
+                    self._event(
+                        "batch-index", node,
+                        "array index re-orders the leading batch axis N",
+                    )
+                out.append(None)
+                axis += 1
+                continue
+            # Unknown index expression: unknown result shape.
+            return AbstractValue(value.dtype, Shape(None))
+        out.extend(dims[axis:])
+        return AbstractValue(value.dtype, Shape(tuple(out)))
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+@dataclass
+class ModuleDataflow:
+    """Same-module inputs to per-function analysis (never cached alone)."""
+
+    env: Dict[str, AbstractValue] = field(default_factory=dict)
+    contracts: Dict[str, Contract] = field(default_factory=dict)
+    module_events: Tuple[TensorEvent, ...] = ()
+
+
+def analyze_module(ctx: ModuleContext) -> ModuleDataflow:
+    """Pre-pass: parse every contract and evaluate top-level assigns."""
+    contracts: Dict[str, Contract] = {}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        spec = contract_spec(node, ctx)
+        if spec is None:
+            continue
+        try:
+            contracts[node.name] = parse_contract(spec)
+        except ContractError:
+            pass  # recorded as a contract-parse event per function
+    interp = _Interp(ctx, {}, contracts)
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            interp._stmt(stmt)
+    return ModuleDataflow(
+        env=dict(interp.env),
+        contracts=contracts,
+        module_events=tuple(interp.events),
+    )
+
+
+def analyze_function(
+    node, ctx: ModuleContext, flow: ModuleDataflow
+) -> TensorInfo:
+    """Run the interpreter over one def and package its TensorInfo."""
+    spec = contract_spec(node, ctx)
+    contract: Optional[Contract] = None
+    parse_event: Optional[TensorEvent] = None
+    if spec is not None:
+        try:
+            contract = parse_contract(spec)
+        except ContractError as exc:
+            parse_event = TensorEvent(
+                "contract-parse", node.lineno, node.col_offset + 1,
+                f"unparseable tensor contract {spec!r}: {exc}",
+            )
+    interp = _Interp(ctx, flow.env, flow.contracts)
+    params: List[str] = []
+    arg_nodes = (
+        list(node.args.posonlyargs) + list(node.args.args)
+        + list(node.args.kwonlyargs)
+    )
+    declared = list(contract.params) if contract else []
+    offset = 0
+    if arg_nodes and arg_nodes[0].arg in ("self", "cls"):
+        interp.env[arg_nodes[0].arg] = TOP_VALUE
+        params.append(encode_value(TOP_VALUE))
+        offset = 1
+    for i, arg in enumerate(arg_nodes[offset:]):
+        value = TOP_VALUE
+        if i < len(declared) and declared[i] is not None:
+            value = declared[i]
+        interp.env[arg.arg] = value
+        params.append(encode_value(value))
+    for extra in (node.args.vararg, node.args.kwarg):
+        if extra is not None:
+            interp.env[extra.arg] = TOP_VALUE
+    interp.exec_body(node.body)
+
+    events = list(interp.events)
+    if parse_event is not None:
+        events.append(parse_event)
+    returns = interp.returned
+    returns_call = None
+    if interp.return_calls and interp.return_count == len(interp.return_calls):
+        returns_call = interp.return_calls[0]
+    if contract is not None and contract.returns is not None \
+            and returns is not None and returns_call is None:
+        mismatch = _contract_mismatch(contract.returns, returns)
+        if mismatch:
+            events.append(TensorEvent(
+                "contract", node.lineno, node.col_offset + 1,
+                f"declared return {_describe(contract.returns)} but "
+                f"inferred {_describe(returns)} ({mismatch}); fix the "
+                f"code or the stale contract",
+            ))
+    encoded_returns = encode_value(returns) if returns is not None \
+        else encode_value(AbstractValue(TOP, Shape(None)))
+    return TensorInfo(
+        contract=spec,
+        params=tuple(params),
+        returns=encoded_returns,
+        returns_call=returns_call,
+        events=tuple(events),
+    )
+
+
+def _describe(value: AbstractValue) -> str:
+    return encode_value(value)
+
+
+def _contract_mismatch(
+    declared: AbstractValue, inferred: AbstractValue
+) -> Optional[str]:
+    """Concrete disagreement between a declared and inferred value.
+
+    Only both-known facts count: ``top``/unknown on either side is not
+    evidence, so the check reports high-confidence staleness only.
+    """
+    if TOP not in (declared.dtype, inferred.dtype) \
+            and declared.dtype is not inferred.dtype:
+        return f"dtype {inferred.dtype.name} != {declared.dtype.name}"
+    dr, ir = declared.shape.rank, inferred.shape.rank
+    if dr is not None and ir is not None:
+        if dr != ir:
+            return f"rank {ir} != {dr}"
+        for d, i in zip(declared.shape.dims, inferred.shape.dims):
+            if isinstance(d, int) and isinstance(i, int) and d != i:
+                return f"dim {i} != {d}"
+    return None

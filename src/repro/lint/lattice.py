@@ -1,0 +1,216 @@
+"""Abstract domains for the tensor dataflow analysis (NUM/SHAPE rules).
+
+Two small lattices, joined pointwise into :class:`AbstractValue`:
+
+* **Dtype** — the chain ``bottom < bool < intN < float32 < float64 <
+  top``. All integer widths collapse onto ``intN``: the drift vector
+  the paper characterizes is float-precision divergence, and collapsing
+  keeps the join a total order (trivially commutative, associative, and
+  idempotent — pinned by hypothesis in ``tests/lint/test_lattice.py``).
+* **Shape** — either "rank unknown" (the top element) or a tuple of
+  dims, each a known ``int``, a symbolic axis name (``"H"``, ``"N"``),
+  or unknown (``None``). A *leading symbolic* ``N`` marks the batch
+  axis the SHAPE001 rule protects.
+
+Values also carry a ``weak`` flag mirroring NumPy scalar promotion:
+a Python ``float`` literal is a *weak* float64 — ``float32_array + 0.5``
+stays float32 under both value-based casting and NEP 50 — whereas
+``np.float64(0.5)`` or a default-dtype ``np.array([0.5])`` is *strong*
+and silently widens a float32 array. Only strong meetings are
+promotions worth flagging.
+
+Everything here is plain data with a total ``join``; the interpreter
+that produces these values lives in :mod:`repro.lint.dataflow`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    "DType",
+    "Shape",
+    "AbstractValue",
+    "BATCH_AXIS",
+    "TOP_VALUE",
+    "decode_value",
+    "encode_value",
+]
+
+#: The symbolic axis name that marks a batch dimension in contracts.
+BATCH_AXIS = "N"
+
+#: One shape dimension: a known extent, a symbolic axis, or unknown.
+Dim = Union[int, str, None]
+
+
+@dataclass(frozen=True, order=True)
+class DType:
+    """One element of the dtype chain, ordered by ``level``."""
+
+    level: int
+    name: str
+
+    def join(self, other: "DType") -> "DType":
+        return self if self.level >= other.level else other
+
+    @property
+    def is_float(self) -> bool:
+        return self in (FLOAT32, FLOAT64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DType({self.name})"
+
+
+BOTTOM = DType(0, "bottom")
+BOOL = DType(1, "bool")
+INTN = DType(2, "intN")
+FLOAT32 = DType(3, "float32")
+FLOAT64 = DType(4, "float64")
+TOP = DType(5, "top")
+
+#: The chain, bottom to top, for iteration and parsing.
+DTYPES: Tuple[DType, ...] = (BOTTOM, BOOL, INTN, FLOAT32, FLOAT64, TOP)
+
+_BY_NAME = {d.name: d for d in DTYPES}
+#: NumPy dtype spellings mapped onto the chain.
+_NUMPY_NAMES = {
+    "bool": BOOL, "bool_": BOOL,
+    "int8": INTN, "int16": INTN, "int32": INTN, "int64": INTN,
+    "uint8": INTN, "uint16": INTN, "uint32": INTN, "uint64": INTN,
+    "intp": INTN, "int_": INTN, "intc": INTN, "byte": INTN, "ubyte": INTN,
+    "intN": INTN, "int": INTN,
+    "float32": FLOAT32, "single": FLOAT32,
+    "float64": FLOAT64, "double": FLOAT64, "float": FLOAT64, "float_": FLOAT64,
+    "half": FLOAT32, "float16": FLOAT32,  # narrow floats: treat as f32 tier
+}
+
+
+def dtype_from_name(name: str) -> DType:
+    """Chain element for a dtype spelling (``"uint8"`` -> ``intN``);
+    unknown spellings map to ``top``."""
+    name = name.rsplit(".", 1)[-1].strip()
+    return _BY_NAME.get(name) or _NUMPY_NAMES.get(name, TOP)
+
+
+@dataclass(frozen=True)
+class Shape:
+    """Rank/axis knowledge: ``dims is None`` means rank unknown (top)."""
+
+    dims: Optional[Tuple[Dim, ...]] = None
+
+    @classmethod
+    def unknown(cls) -> "Shape":
+        return cls(None)
+
+    @classmethod
+    def scalar(cls) -> "Shape":
+        return cls(())
+
+    @property
+    def rank(self) -> Optional[int]:
+        return None if self.dims is None else len(self.dims)
+
+    @property
+    def leading_batch(self) -> bool:
+        """True when the first axis is the symbolic batch axis ``N``."""
+        return bool(self.dims) and self.dims[0] == BATCH_AXIS
+
+    def join(self, other: "Shape") -> "Shape":
+        if self.dims is None or other.dims is None:
+            return Shape(None)
+        if len(self.dims) != len(other.dims):
+            return Shape(None)
+        return Shape(tuple(
+            a if a == b else None for a, b in zip(self.dims, other.dims)
+        ))
+
+    def drop_axis(self, axis: int) -> "Shape":
+        if self.dims is None:
+            return self
+        if not -len(self.dims) <= axis < len(self.dims):
+            return Shape(None)
+        axis %= len(self.dims)
+        return Shape(self.dims[:axis] + self.dims[axis + 1:])
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One abstract ndarray/scalar: dtype x shape x scalar weakness."""
+
+    dtype: DType = TOP
+    shape: Shape = Shape(None)
+    weak: bool = False  #: Python scalar literal (non-promoting)
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        return AbstractValue(
+            dtype=self.dtype.join(other.dtype),
+            shape=self.shape.join(other.shape),
+            weak=self.weak and other.weak,
+        )
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.shape.dims == ()
+
+    def with_dtype(self, dtype: DType) -> "AbstractValue":
+        return AbstractValue(dtype=dtype, shape=self.shape, weak=False)
+
+    def with_shape(self, shape: Shape) -> "AbstractValue":
+        return AbstractValue(dtype=self.dtype, shape=shape, weak=self.weak)
+
+
+TOP_VALUE = AbstractValue(TOP, Shape(None))
+
+
+# ----------------------------------------------------------------------
+# Compact text encoding (for summaries.json and finding messages)
+# ----------------------------------------------------------------------
+def _dim_text(dim: Dim) -> str:
+    if dim is None:
+        return "?"
+    return str(dim)
+
+
+def encode_shape(shape: Shape) -> str:
+    if shape.dims is None:
+        return "*"
+    return "(" + ",".join(_dim_text(d) for d in shape.dims) + ")"
+
+
+def decode_shape(text: str) -> Shape:
+    text = text.strip()
+    if text in ("*", ""):
+        return Shape(None)
+    if not (text.startswith("(") and text.endswith(")")):
+        return Shape(None)
+    inner = text[1:-1].strip()
+    if not inner:
+        return Shape(())
+    dims: Tuple[Dim, ...] = tuple(
+        None if part == "?" else (int(part) if part.lstrip("-").isdigit() else part)
+        for part in (p.strip() for p in inner.split(","))
+    )
+    return Shape(dims)
+
+
+def encode_value(value: AbstractValue) -> str:
+    """``"float32:(N,H,W,3)"`` / ``"float64:()~"`` (weak) / ``"top:*"``."""
+    return (
+        f"{value.dtype.name}:{encode_shape(value.shape)}"
+        + ("~" if value.weak else "")
+    )
+
+
+def decode_value(text: str) -> AbstractValue:
+    text = text.strip()
+    weak = text.endswith("~")
+    if weak:
+        text = text[:-1]
+    dtype_name, _, shape_text = text.partition(":")
+    return AbstractValue(
+        dtype=dtype_from_name(dtype_name or "top"),
+        shape=decode_shape(shape_text),
+        weak=weak,
+    )

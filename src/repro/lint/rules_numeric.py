@@ -1,0 +1,217 @@
+"""NUM001/NUM002/SHAPE001: numeric-drift and batch-axis safety rules.
+
+These three passes consume the per-function :class:`TensorEvent` streams
+the abstract interpreter (:mod:`repro.lint.dataflow`) left in the
+summaries, and gate them on whole-program reachability:
+
+* **NUM001** — an implicit float32 -> float64 promotion (a strong
+  float64 met a float32 array with no ``astype``/``dtype=``) in code
+  reachable from the capture roots. Precision widening mid-pipeline is
+  exactly the cross-device drift vector the paper characterizes: the
+  same stage computed at two precisions on two devices diverges in the
+  low-order bits, and the classifier flips.
+* **NUM002** — an order-sensitive axis-free float reduction (``sum`` /
+  ``mean`` / ``cumsum`` / ``nansum`` / ``nanmean`` over a flattened
+  rank>=2 array) reachable from the parallel fan-out. Like DET003 for
+  dict ordering, the accumulation order over a flattened buffer is an
+  implementation detail — two BLAS builds or a future chunked executor
+  may sum in different orders. ``dot``/``matmul`` are deliberately out
+  of scope: their contraction axis is pinned by the operand shapes, and
+  the bit-identical kernels invariant already locks their kernels.
+* **SHAPE001** — a function whose :func:`tensor_contract` declares a
+  leading symbolic batch axis ``N`` must never reduce, reshape across,
+  boolean-mask, or integer-index that axis; each such proof certifies
+  one stage as safe for the ROADMAP's ``(N, H, W, C)`` batch lift.
+  SHAPE001 also reports contract violations and stale contracts
+  (declared return disagreeing with the inferred lattice value), chasing
+  single-return forwards across modules at link time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .callgraph import FunctionSummary, Program
+from .contracts import ContractError, parse_contract
+from .dataflow import _contract_mismatch
+from .findings import Finding
+from .lattice import AbstractValue, decode_value
+from .registry import ProgramRule, register
+
+__all__ = ["ImplicitPromotion", "OrderSensitiveReduction", "BatchAxisSafety"]
+
+#: Functions transitively feeding captured results: promotions here
+#: change pixels/logits; promotions in dead utilities do not.
+_CAPTURE_ROOTS = ("runner/", "fleet/", "serve/", "lab/")
+
+#: Functions reachable from the parallel fan-out: accumulation order
+#: here can differ per worker split.
+_FANOUT_ROOTS = ("runner/", "fleet/", "serve/")
+
+
+def _roots(program: Program, prefixes) -> list:
+    return [
+        key
+        for key, fn in sorted(program.functions.items())
+        if fn.rel.startswith(prefixes)
+    ]
+
+
+def _where(fn: FunctionSummary) -> str:
+    return f"in {fn.qual}" if fn.qual != "<module>" else "at module level"
+
+
+class _EventRule(ProgramRule):
+    """Shared scaffolding: emit findings for one event kind, with the
+    shortest root-to-site chain when the site is reachable."""
+
+    kinds = ()
+    root_prefixes = ()
+    chain_label = "capture path"
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        roots = _roots(program, self.root_prefixes)
+        reachable = program.reachable(roots)
+        for key in sorted(program.functions):
+            fn = program.functions[key]
+            if not fn.rel.startswith(self.root_prefixes) \
+                    and key not in reachable:
+                continue
+            for event in fn.tensor.events:
+                if event.kind not in self.kinds:
+                    continue
+                message = self.describe(fn, event)
+                chain = program.trace(roots, key)
+                if chain is not None and len(chain) > 1:
+                    message += (
+                        f"; reachable from the {self.chain_label} via "
+                        + " -> ".join(chain)
+                    )
+                yield self.program_finding(fn, event.line, event.col, message)
+
+    def describe(self, fn, event) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@register
+class ImplicitPromotion(_EventRule):
+    """NUM001: no silent float32 -> float64 widening on capture paths."""
+
+    name = "NUM001"
+    summary = (
+        "no implicit float32 -> float64 promotion reachable from the "
+        "capture roots; widen or narrow explicitly (astype/dtype=)"
+    )
+
+    kinds = ("promotion",)
+    root_prefixes = _CAPTURE_ROOTS
+
+    def describe(self, fn, event) -> str:
+        return (
+            f"implicit dtype promotion {_where(fn)}: {event.detail}; the "
+            "silent precision change diverges across devices — make the "
+            "widening explicit (astype) or keep the operand float32"
+        )
+
+
+@register
+class OrderSensitiveReduction(_EventRule):
+    """NUM002: float reductions need stable-axis discipline."""
+
+    name = "NUM002"
+    summary = (
+        "order-sensitive float reductions (sum/mean/cumsum without an "
+        "axis) must not be reachable from the parallel fan-out"
+    )
+
+    kinds = ("reduction",)
+    root_prefixes = _FANOUT_ROOTS
+    chain_label = "parallel fan-out"
+
+    def describe(self, fn, event) -> str:
+        return (
+            f"order-sensitive reduction {_where(fn)}: {event.detail} — "
+            "accumulate along an explicit axis (then reduce the rest in "
+            "a fixed order) so the float sum order is pinned"
+        )
+
+
+@register
+class BatchAxisSafety(ProgramRule):
+    """SHAPE001: contracted batch axes stay independent; contracts stay
+    honest."""
+
+    name = "SHAPE001"
+    summary = (
+        "a @tensor_contract with a leading batch axis N must not be "
+        "reduced, masked, indexed, or reshaped across; declared "
+        "contracts must match the inferred dtype/shape"
+    )
+
+    _BATCH_KINDS = ("batch-reduce", "batch-mask", "batch-index",
+                    "batch-reshape")
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        for key in sorted(program.functions):
+            fn = program.functions[key]
+            for event in fn.tensor.events:
+                if event.kind in self._BATCH_KINDS:
+                    yield self.program_finding(
+                        fn, event.line, event.col,
+                        f"batch-axis violation {_where(fn)}: "
+                        f"{event.detail}; the contract "
+                        f"{fn.tensor.contract!r} promises batch items "
+                        "stay independent",
+                    )
+                elif event.kind in ("contract", "contract-parse"):
+                    yield self.program_finding(
+                        fn, event.line, event.col,
+                        f"tensor contract {_where(fn)}: {event.detail}",
+                    )
+            finding = self._check_forwarded_return(program, fn)
+            if finding is not None:
+                yield finding
+
+    def _check_forwarded_return(
+        self, program: Program, fn: FunctionSummary
+    ) -> Optional[Finding]:
+        """Link-time contract check for ``return other_module_call(...)``.
+
+        Summaries are per-module, so a forwarded cross-module return is
+        ``top`` at summary time; here every summary is in hand and the
+        chain can be chased to a concrete inferred value.
+        """
+        info = fn.tensor
+        if info.contract is None or info.returns_call is None:
+            return None
+        try:
+            declared = parse_contract(info.contract).returns
+        except ContractError:
+            return None  # already reported as a contract-parse event
+        if declared is None:
+            return None
+        inferred = self._chase(program, info.returns_call)
+        if inferred is None:
+            return None
+        mismatch = _contract_mismatch(declared, inferred)
+        if mismatch is None:
+            return None
+        return self.program_finding(
+            fn, fn.line, fn.col,
+            f"tensor contract {_where(fn)}: declared return of "
+            f"{info.contract!r} disagrees with the value forwarded from "
+            f"{info.returns_call} ({mismatch}); fix the code or the "
+            "stale contract",
+        )
+
+    @staticmethod
+    def _chase(program: Program, target: str) -> Optional[AbstractValue]:
+        for _ in range(8):  # bounded: forward chains are short
+            key = program._resolve_name(target, program.functions)
+            if key is None:
+                return None
+            info = program.functions[key].tensor
+            if info.returns_call is None:
+                return decode_value(info.returns)
+            target = info.returns_call
+        return None

@@ -169,3 +169,100 @@ def test_summary_cache_round_trips_and_invalidates_on_edit(tmp_path):
     touched = make_program(sources, SummaryCache(tmp_path))
     assert touched.stats["cache_hits"] == 1
     assert touched.stats["cache_misses"] == 1
+
+
+def test_sibling_modules_with_same_function_name_link_exactly():
+    """Exact qualified-name resolution: two sibling modules both define
+    ``helper``; each caller's edge lands on its *own* import, and a call
+    through an unbound name links nowhere (the old suffix-index matcher
+    would have guessed)."""
+    program = make_program({
+        "runner/util.py": """
+            def helper():
+                return 1
+        """,
+        "fleet/util.py": """
+            def helper():
+                return 2
+        """,
+        "runner/job.py": """
+            from .util import helper
+            def run():
+                return helper()
+        """,
+        "fleet/pop.py": """
+            from ..fleet import util
+            def grow():
+                return util.helper()
+        """,
+        "serve/svc.py": """
+            import importlib
+            def handle():
+                util = importlib.import_module("x")
+                return util.helper()
+        """,
+    })
+    assert [t for _s, t in program.callees("repro.runner.job.run")] == [
+        "repro.runner.util.helper"
+    ]
+    assert [t for _s, t in program.callees("repro.fleet.pop.grow")] == [
+        "repro.fleet.util.helper"
+    ]
+    assert [t for _s, t in program.callees("repro.serve.svc.handle")] == [None, None]
+
+
+def test_resolution_chases_package_reexports():
+    """``from ..runner import Store`` where runner/__init__ re-exports
+    Store from runner/cache.py resolves to the defining module."""
+    program = make_program({
+        "runner/cache.py": """
+            class Store:
+                def get(self, key):
+                    return key
+        """,
+        "runner/__init__.py": """
+            from .cache import Store
+        """,
+        "serve/svc.py": """
+            from ..runner import Store
+            class Service:
+                def __init__(self, store: Store):
+                    self.store = store
+                def lookup(self, key):
+                    return self.store.get(key)
+        """,
+    })
+    edges = program.callees("repro.serve.svc.Service.lookup")
+    assert [t for _s, t in edges] == ["repro.runner.cache.Store.get"]
+
+
+def test_cold_and_warm_summaries_agree_on_tensor_facts(tmp_path):
+    """The v2 cache round-trips the tensor fields bit-for-bit: contract,
+    inferred return, forwarded-call marker, and every event."""
+    sources = {
+        "isp/stage.py": """
+            import numpy as np
+            from repro.lint.contracts import tensor_contract
+
+            @tensor_contract("(H, W) float32, _ -> (H, W) float32")
+            def gain(mosaic, k):
+                scale = np.float64(2.0)
+                return (mosaic * scale).astype(np.float32)
+        """,
+        "isp/wrap.py": """
+            from repro.isp.stage import gain
+            def call(mosaic):
+                return gain(mosaic, 2)
+        """,
+    }
+    cold = make_program(sources, SummaryCache(tmp_path))
+    warm = make_program(sources, SummaryCache(tmp_path))
+    assert cold.stats["cache_misses"] == 2 and warm.stats["cache_hits"] == 2
+    for key in ("repro.isp.stage.gain", "repro.isp.wrap.call"):
+        assert warm.functions[key].tensor == cold.functions[key].tensor
+    tensor = warm.functions["repro.isp.stage.gain"].tensor
+    assert tensor.contract == "(H, W) float32, _ -> (H, W) float32"
+    assert [e.kind for e in tensor.events] == ["promotion"]
+    assert warm.functions["repro.isp.wrap.call"].tensor.returns_call == (
+        "repro.isp.stage.gain"
+    )

@@ -1,0 +1,109 @@
+"""Property tests for the tensor abstract domains (repro.lint.lattice).
+
+The dataflow interpreter leans on ``join`` being a real lattice join —
+commutative, associative, idempotent, and an upper bound — so loop and
+branch merges converge regardless of visit order. Hypothesis pins those
+laws over the whole domain, plus the text codec the summary cache uses.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint.lattice import (
+    BOTTOM,
+    DTYPES,
+    TOP,
+    TOP_VALUE,
+    AbstractValue,
+    Shape,
+    decode_value,
+    dtype_from_name,
+    encode_value,
+)
+
+dtypes = st.sampled_from(DTYPES)
+dims = st.one_of(
+    st.none(),
+    st.integers(min_value=0, max_value=9),
+    st.sampled_from(["N", "H", "W", "C", "K", "S"]),
+)
+shapes = st.one_of(
+    st.just(Shape(None)),
+    st.lists(dims, max_size=4).map(tuple).map(Shape),
+)
+values = st.builds(AbstractValue, dtype=dtypes, shape=shapes, weak=st.booleans())
+
+
+# ----------------------------------------------------------------------
+# Dtype chain
+# ----------------------------------------------------------------------
+@given(dtypes, dtypes)
+def test_dtype_join_is_commutative(a, b):
+    assert a.join(b) == b.join(a)
+
+
+@given(dtypes, dtypes, dtypes)
+def test_dtype_join_is_associative(a, b, c):
+    assert a.join(b).join(c) == a.join(b.join(c))
+
+
+@given(dtypes)
+def test_dtype_join_is_idempotent_with_bottom_and_top(a):
+    assert a.join(a) == a
+    assert a.join(BOTTOM) == a
+    assert a.join(TOP) == TOP
+
+
+@given(dtypes, dtypes)
+def test_dtype_join_is_an_upper_bound(a, b):
+    joined = a.join(b)
+    assert joined.level >= a.level and joined.level >= b.level
+
+
+def test_numpy_spellings_collapse_onto_the_chain():
+    assert dtype_from_name("uint8") == dtype_from_name("int64")
+    assert dtype_from_name("np.float32") == dtype_from_name("single")
+    assert dtype_from_name("no_such_dtype") == TOP
+
+
+# ----------------------------------------------------------------------
+# Full abstract values (dtype x shape x weakness, joined pointwise)
+# ----------------------------------------------------------------------
+@given(values, values)
+def test_value_join_is_commutative(a, b):
+    assert a.join(b) == b.join(a)
+
+
+@given(values, values, values)
+def test_value_join_is_associative(a, b, c):
+    assert a.join(b).join(c) == a.join(b.join(c))
+
+
+@given(values)
+def test_value_join_is_idempotent_and_top_absorbs(a):
+    assert a.join(a) == a
+    assert a.join(TOP_VALUE) == TOP_VALUE
+
+
+@given(values, values)
+def test_joined_shape_never_invents_precision(a, b):
+    """The merged shape keeps a dim only where both sides agree."""
+    joined = a.join(b).shape
+    if joined.dims is None:
+        return
+    assert a.shape.dims is not None and b.shape.dims is not None
+    for merged, left, right in zip(joined.dims, a.shape.dims, b.shape.dims):
+        assert merged == left == right or merged is None
+
+
+@given(values, values)
+def test_weakness_survives_only_weak_meets_weak(a, b):
+    assert a.join(b).weak == (a.weak and b.weak)
+
+
+# ----------------------------------------------------------------------
+# Text codec (what summaries.json stores)
+# ----------------------------------------------------------------------
+@given(values)
+def test_encode_decode_round_trips(value):
+    assert decode_value(encode_value(value)) == value

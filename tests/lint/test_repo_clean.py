@@ -79,6 +79,27 @@ def test_one_seeded_violation_per_rule_fails(tmp_path):
             "codecs/x.py",
             "from repro import obs\ndef f():\n    return obs.active()\n",
         ),
+        "NUM001": (
+            "runner/x.py",
+            "import numpy as np\n"
+            "def f():\n"
+            "    a = np.zeros((4, 4), dtype=np.float32)\n"
+            "    return a * np.float64(2.0)\n",
+        ),
+        "NUM002": (
+            "fleet/x.py",
+            "import numpy as np\n"
+            "def f():\n"
+            "    img = np.zeros((8, 8), dtype=np.float32)\n"
+            "    return img.sum()\n",
+        ),
+        "SHAPE001": (
+            "isp/x.py",
+            "from repro.lint.contracts import tensor_contract\n"
+            "@tensor_contract('(N, H, W) float32 -> _')\n"
+            "def f(batch):\n"
+            "    return batch.mean(axis=0)\n",
+        ),
     }
     assert set(seeded) == {rule.name for rule in all_rules()}
     for rule, (rel, code) in sorted(seeded.items()):
@@ -87,3 +108,7 @@ def test_one_seeded_violation_per_rule_fails(tmp_path):
         target.write_text(code)
         report = lint_paths([target], rules=(rule,), root=tmp_path)
         assert report.exit_code == 1, f"{rule} did not fire on its seed"
+        assert len(report.findings) == 1, (
+            f"{rule} must catch its seed with exactly one finding, got: "
+            + "; ".join(f.render() for f in report.findings)
+        )
