@@ -254,6 +254,7 @@ def _cmd_serve(args) -> None:
         batch_window_s=args.batch_window,
         request_timeout_s=args.request_timeout,
         workers=args.workers,
+        batched=args.batched,
         window_s=args.window,
         model=args.model,
     )
@@ -560,11 +561,19 @@ def build_parser() -> argparse.ArgumentParser:
         "time, cold vs warm summary cache) instead of the kernel cases",
     )
     p.add_argument(
+        "--e2e",
+        action="store_true",
+        help="run the end-to-end capture-path macro benchmark (fused "
+        "batched vs per-capture fleet throughput, with a byte-identity "
+        "check) instead of the kernel cases",
+    )
+    p.add_argument(
         "--out",
         type=str,
         default=None,
         help="write the JSON report here (default BENCH_kernels.json, "
-        "BENCH_serve.json with --serve, or BENCH_lint.json with --lint)",
+        "BENCH_serve.json with --serve, BENCH_lint.json with --lint, "
+        "or BENCH_e2e.json with --e2e)",
     )
     p.set_defaults(func=_cmd_bench)
 
@@ -688,6 +697,12 @@ def build_parser() -> argparse.ArgumentParser:
         "results are bit-identical for every setting",
     )
     p.add_argument(
+        "--batched",
+        action="store_true",
+        help="route coalesced same-(phone, scene) requests through the "
+        "fused vectorized capture path (bit-identical, opt-in)",
+    )
+    p.add_argument(
         "--cache-dir",
         type=str,
         default=None,
@@ -770,6 +785,22 @@ def _cmd_bench(args) -> None:
         print(format_lint_report(report))
         write_report(report, out)
         print(f"report written to {out}")
+        return
+    if args.e2e:
+        from .bench.e2e import format_e2e_report, run_e2e_bench
+
+        report = run_e2e_bench(
+            quick=args.quick, repeats=args.repeats, seed=args.seed
+        )
+        out = args.out or "BENCH_e2e.json"
+        print(format_e2e_report(report))
+        write_report(report, out)
+        print(f"report written to {out}")
+        if not report["identity_ok"]:
+            raise SystemExit(
+                "repro bench: fused payloads diverged from per-capture "
+                "payloads — batch-invariance violation"
+            )
         return
     try:
         report = run_bench(

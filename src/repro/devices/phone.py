@@ -15,7 +15,7 @@ mitigation.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -43,6 +43,11 @@ class Phone:
     def name(self) -> str:
         return self.profile.name
 
+    @property
+    def codec(self):
+        """The vendor default save codec (from ``profile.save_format``)."""
+        return self._codec
+
     # ------------------------------------------------------------------
     # Capture paths
     # ------------------------------------------------------------------
@@ -50,9 +55,25 @@ class Phone:
         """Expose one frame; returns the sensor's raw mosaic."""
         return self.sensor.capture(radiance, rng)
 
+    def capture_raw_batch(
+        self, radiance: ImageBuffer, rngs: Sequence[np.random.Generator]
+    ) -> List[RawImage]:
+        """Expose ``len(rngs)`` repeat frames in one vectorized pass.
+
+        Frame ``i`` is bit-identical to ``capture_raw(radiance, rngs[i])``.
+        """
+        return self.sensor.capture_batch(radiance, rngs)
+
     def develop(self, raw: RawImage) -> ImageBuffer:
         """Run a raw capture through this phone's vendor ISP."""
         return self.isp.process(raw)
+
+    def develop_batch(self, raws: Sequence[RawImage]) -> List[ImageBuffer]:
+        """Develop a batch through the vendor ISP in one vectorized pass.
+
+        Item ``i`` is bit-identical to ``develop(raws[i])``.
+        """
+        return self.isp.process_batch(raws)
 
     def photograph(
         self,

@@ -23,7 +23,9 @@ __all__ = [
     "srgb_encode",
     "srgb_decode",
     "gray_world_gains",
+    "gray_world_gains_batch",
     "apply_wb_gains",
+    "apply_wb_gains_batch",
     "luminance",
 ]
 
@@ -151,6 +153,30 @@ def apply_wb_gains(rgb: np.ndarray, gains: Sequence[float]) -> np.ndarray:
     if gains_arr.shape != (3,):
         raise ValueError(f"expected 3 gains, got shape {gains_arr.shape}")
     return np.asarray(rgb, dtype=np.float32) * gains_arr
+
+
+def gray_world_gains_batch(rgb: np.ndarray) -> np.ndarray:
+    """Per-item :func:`gray_world_gains` over an ``(N, H, W, 3)`` stack.
+
+    The gray-world estimate reduces each item over its own pixels, so a
+    fused batch-axis reduction would change the pairwise-summation
+    blocking; the loop keeps each item's mean bit-identical to the serial
+    path. Returns ``(N, 3)`` gains.
+    """
+    rgb = np.asarray(rgb, dtype=np.float32)
+    if rgb.ndim != 4 or rgb.shape[-1] != 3:
+        raise ValueError(f"expected (N, H, W, 3), got shape {rgb.shape}")
+    return np.stack([gray_world_gains(item) for item in rgb])
+
+
+@tensor_contract("(N, ?, ?, ?) float32, (N, 3) float32 -> (N, ?, ?, ?) float32")
+def apply_wb_gains_batch(rgb: np.ndarray, gains: np.ndarray) -> np.ndarray:
+    """Per-item white-balance gains over an ``(N, H, W, 3)`` stack."""
+    gains = np.asarray(gains, dtype=np.float32)
+    rgb = np.asarray(rgb, dtype=np.float32)
+    if gains.ndim != 2 or gains.shape != (rgb.shape[0], 3):
+        raise ValueError(f"expected ({rgb.shape[0]}, 3) gains, got {gains.shape}")
+    return rgb * gains[:, None, None, :]
 
 
 def luminance(rgb: np.ndarray) -> np.ndarray:

@@ -13,12 +13,16 @@ from ..lint.contracts import tensor_contract
 
 __all__ = [
     "bilinear_resize",
+    "bilinear_resize_batch",
     "center_crop",
     "pad_to_multiple",
     "gaussian_kernel1d",
     "gaussian_blur",
+    "gaussian_blur_batch",
+    "gaussian_blur_planes_batch",
     "box_blur",
     "unsharp_mask",
+    "unsharp_mask_batch",
     "affine_warp",
     "perspective_shift",
 ]
@@ -60,6 +64,47 @@ def bilinear_resize(image: np.ndarray, height: int, width: int) -> np.ndarray:
         gather = lambda yy, xx: flat[yy[:, None], xx[None, :], :]  # noqa: E731
         wy_b = wy[:, None, None]
         wx_b = wx[None, :, None]
+
+    top = gather(y0, x0) * (1 - wx_b) + gather(y0, x1) * wx_b
+    bot = gather(y1, x0) * (1 - wx_b) + gather(y1, x1) * wx_b
+    return (top * (1 - wy_b) + bot * wy_b).astype(np.float32)
+
+
+@tensor_contract("(N, ?, ?, ?) float32, _, _ -> (N, ?, ?, ?) float32")
+def bilinear_resize_batch(images: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Batched :func:`bilinear_resize` over an ``(N, H, W, C)`` stack.
+
+    Item ``i`` of the result is bit-identical to
+    ``bilinear_resize(images[i], height, width)``: the sample grid and
+    interpolation weights depend only on the geometry, so they are shared,
+    and the gather + lerp arithmetic is elementwise per item.
+    """
+    images = np.asarray(images, dtype=np.float32)
+    if images.ndim != 4:
+        raise ValueError(f"expected (N, H, W, C), got shape {images.shape}")
+    if height <= 0 or width <= 0:
+        raise ValueError("target size must be positive")
+    src_h, src_w = images.shape[1:3]
+    if (src_h, src_w) == (height, width):
+        return images.copy()
+
+    ys = (np.arange(height, dtype=np.float32) + 0.5) * (src_h / height) - 0.5
+    xs = (np.arange(width, dtype=np.float32) + 0.5) * (src_w / width) - 0.5
+    ys = np.clip(ys, 0.0, src_h - 1.0)
+    xs = np.clip(xs, 0.0, src_w - 1.0)
+
+    y0 = np.floor(ys).astype(np.int64)
+    x0 = np.floor(xs).astype(np.int64)
+    y1 = np.minimum(y0 + 1, src_h - 1)
+    x1 = np.minimum(x0 + 1, src_w - 1)
+    wy = (ys - y0).astype(np.float32)
+    wx = (xs - x0).astype(np.float32)
+
+    wy_b = wy[None, :, None, None]
+    wx_b = wx[None, None, :, None]
+
+    def gather(yy: np.ndarray, xx: np.ndarray) -> np.ndarray:
+        return images[:, yy[:, None], xx[None, :], :]
 
     top = gather(y0, x0) * (1 - wx_b) + gather(y0, x1) * wx_b
     bot = gather(y1, x0) * (1 - wx_b) + gather(y1, x1) * wx_b
@@ -116,6 +161,34 @@ def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
     return out.astype(np.float32)
 
 
+@tensor_contract("(N, ?, ?, ?) float32, _ -> (N, ?, ?, ?) float32")
+def gaussian_blur_batch(images: np.ndarray, sigma: float) -> np.ndarray:
+    """Batched :func:`gaussian_blur` over an ``(N, H, W, C)`` stack.
+
+    ``gaussian_filter1d`` runs the same 1-D correlation along each
+    spatial line regardless of how many leading batch dims surround it,
+    so filtering axes ``(1, 2)`` here is bit-identical to filtering axes
+    ``(0, 1)`` of each item separately.
+    """
+    if sigma <= 0:
+        return np.asarray(images, dtype=np.float32).copy()
+    out = np.asarray(images, dtype=np.float32)
+    for axis in (1, 2):
+        out = ndimage.gaussian_filter1d(out, sigma=sigma, axis=axis, mode="nearest")
+    return out.astype(np.float32)
+
+
+@tensor_contract("(N, ?, ?) float32, _ -> (N, ?, ?) float32")
+def gaussian_blur_planes_batch(planes: np.ndarray, sigma: float) -> np.ndarray:
+    """Batched :func:`gaussian_blur` over an ``(N, H, W)`` plane stack."""
+    if sigma <= 0:
+        return np.asarray(planes, dtype=np.float32).copy()
+    out = np.asarray(planes, dtype=np.float32)
+    for axis in (1, 2):
+        out = ndimage.gaussian_filter1d(out, sigma=sigma, axis=axis, mode="nearest")
+    return out.astype(np.float32)
+
+
 def box_blur(image: np.ndarray, size: int) -> np.ndarray:
     """Uniform (box) blur with an odd window ``size``."""
     if size < 1 or size % 2 == 0:
@@ -133,6 +206,14 @@ def unsharp_mask(image: np.ndarray, sigma: float, amount: float) -> np.ndarray:
     image = np.asarray(image, dtype=np.float32)
     blurred = gaussian_blur(image, sigma)
     return image + np.float32(amount) * (image - blurred)
+
+
+@tensor_contract("(N, ?, ?, ?) float32, _, _ -> (N, ?, ?, ?) float32")
+def unsharp_mask_batch(images: np.ndarray, sigma: float, amount: float) -> np.ndarray:
+    """Batched :func:`unsharp_mask` over an ``(N, H, W, C)`` stack."""
+    images = np.asarray(images, dtype=np.float32)
+    blurred = gaussian_blur_batch(images, sigma)
+    return images + np.float32(amount) * (images - blurred)
 
 
 def affine_warp(

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from .. import obs
 from ..imaging.image import ImageBuffer, RawImage
-from .stages import BlackLevelCorrection, Demosaic, ISPStage, ISPState
+from .stages import BatchISPState, BlackLevelCorrection, Demosaic, ISPStage, ISPState
 
 __all__ = ["ISPPipeline"]
 
@@ -52,6 +54,28 @@ class ISPPipeline:
                 with obs.span(f"isp.{stage.name}", pipeline=self.name):
                     state = stage.process(state)
             return ImageBuffer(state.require_rgb()).clipped()
+
+    def process_batch(self, raws: Sequence[RawImage]) -> List[ImageBuffer]:
+        """Develop a batch of raw captures in one vectorized pass.
+
+        Item ``i`` of the result is bit-identical to ``process(raws[i])``:
+        every stage's ``process_batch`` either vectorizes over the leading
+        batch axis with elementwise-equivalent arithmetic or falls back to
+        a per-item loop.
+        """
+        raws = list(raws)
+        if not raws:
+            return []
+        with obs.span("isp.process_batch", pipeline=self.name, items=len(raws)):
+            state = BatchISPState(
+                raws=raws,
+                mosaic=np.stack([raw.mosaic.astype("float32") for raw in raws]),
+            )
+            for stage in self.stages:
+                with obs.span(f"isp.{stage.name}", pipeline=self.name):
+                    state = stage.process_batch(state)
+            rgb = state.require_rgb()
+            return [ImageBuffer(rgb[i]).clipped() for i in range(len(raws))]
 
     def process_with_taps(self, raw: RawImage) -> Tuple[ImageBuffer, Dict[str, ImageBuffer]]:
         """Run the pipeline, also returning the image after each RGB stage."""

@@ -70,6 +70,33 @@ __all__ = [
 ]
 
 
+def _resolve_profiles(
+    phones: Optional[Sequence[DeviceProfile]],
+    fleet_size: Optional[int],
+    seed: int,
+    raw_capable_only: bool = False,
+) -> List[DeviceProfile]:
+    """Resolve an experiment's phone list.
+
+    ``phones`` (explicit) and ``fleet_size`` (a seeded synthetic
+    population via :func:`repro.fleet.population.generate_fleet`) are
+    mutually exclusive; with neither, the paper's capture fleet is used.
+    """
+    if phones is not None and fleet_size is not None:
+        raise ValueError("pass phones= or fleet_size=, not both")
+    if phones is not None:
+        profiles = list(phones)
+    elif fleet_size is not None:
+        from ..fleet.population import generate_fleet
+
+        profiles = generate_fleet(fleet_size, seed=seed)
+    else:
+        profiles = capture_fleet()
+    if raw_capable_only:
+        profiles = [p for p in profiles if p.supports_raw]
+    return profiles
+
+
 # ======================================================================
 # §4 — end-to-end
 # ======================================================================
@@ -78,6 +105,12 @@ class EndToEndExperiment:
 
     The result feeds Fig. 3 (accuracy/instability by phone, class,
     angle), Fig. 4 (confidence), and the §9.3 top-k re-scoring.
+
+    The fleet defaults to the paper's five phones; pass ``phones=`` for
+    an explicit profile list or ``fleet_size=`` to photograph on a
+    seeded synthetic population
+    (:func:`repro.fleet.population.generate_fleet`) instead — the
+    population-scale variant of the §4 study.
     """
 
     def __init__(
@@ -90,10 +123,11 @@ class EndToEndExperiment:
         workers: int = 0,
         cache: Optional[CaptureCache] = None,
         executor: Optional[FleetExecutor] = None,
+        fleet_size: Optional[int] = None,
     ) -> None:
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
-        self.profiles = list(phones) if phones is not None else capture_fleet()
+        self.profiles = _resolve_profiles(phones, fleet_size, seed)
         self.runtime = DeviceRuntime(resolve_model(model), batch_size=INFERENCE_BATCH)
         self.angles = tuple(angles)
         self.repeats = repeats
@@ -173,10 +207,13 @@ class RawCaptureBank:
         workers: int = 0,
         cache: Optional[CaptureCache] = None,
         executor: Optional[FleetExecutor] = None,
+        fleet_size: Optional[int] = None,
     ) -> "RawCaptureBank":
-        profiles = list(phones) if phones is not None else [
-            p for p in capture_fleet() if p.supports_raw
-        ]
+        profiles = (
+            list(phones)
+            if phones is not None
+            else _resolve_profiles(None, fleet_size, seed, raw_capable_only=True)
+        )
         if not profiles:
             raise ValueError("no raw-capable phones supplied")
         dataset = build_dataset(per_class=per_class, seed=seed)
@@ -451,17 +488,24 @@ class RawVsJpegExperiment:
         workers: int = 0,
         cache: Optional[CaptureCache] = None,
         executor: Optional[FleetExecutor] = None,
+        phones: Optional[Sequence[DeviceProfile]] = None,
+        fleet_size: Optional[int] = None,
     ) -> None:
         self.runtime = DeviceRuntime(resolve_model(model), batch_size=INFERENCE_BATCH)
         self.seed = seed
         self.conversion_isp_name = "imagemagick"
         self.cache = cache
         self.executor = executor or FleetExecutor(workers=workers, cache=cache)
+        self.profiles = _resolve_profiles(
+            phones, fleet_size, seed, raw_capable_only=True
+        )
+        if not self.profiles:
+            raise ValueError("no raw-capable phones supplied")
 
     def run(
         self, per_class: int = 8, angles: Sequence[float] = (0.0,)
     ) -> RawVsJpegOutcome:
-        profiles = [p for p in capture_fleet() if p.supports_raw]
+        profiles = self.profiles
         dataset = build_dataset(per_class=per_class, seed=self.seed)
         rig = CaptureRig(
             screen=Screen(seed=self.seed), angles=angles, cache=self.cache

@@ -124,6 +124,10 @@ def device_rows(spans: Sequence[Span]) -> List[List[str]]:
         if span.name == "unit.execute":
             units[device] = units.get(device, 0) + 1
             totals[device] = totals.get(device, 0.0) + span.duration
+        elif span.name == "unit.execute_group":
+            # A fused group span covers `units` repeats in one pass.
+            units[device] = units.get(device, 0) + int(span.attrs.get("units", 1))
+            totals[device] = totals.get(device, 0.0) + span.duration
         prefix = span.name.split(".", 1)[0]
         if prefix in _SUBSYSTEMS:
             parent = by_id.get(span.parent_id) if span.parent_id is not None else None

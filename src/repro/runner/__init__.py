@@ -17,7 +17,11 @@ guaranteed bit-identical either way:
   unit's output (scene pixels, device profile, seed, options), letting
   repeated experiments and ablation sweeps skip redundant capture work;
 * :mod:`~repro.runner.executor` schedules units over
-  ``concurrent.futures`` with a serial fallback and cache short-circuit.
+  ``concurrent.futures`` with a serial fallback and cache short-circuit,
+  fusing same-(phone, scene) repeats into vectorized group passes
+  (:func:`~repro.runner.units.execute_unit_group`) by default;
+* :mod:`~repro.runner.shm` ships fused groups to pooled workers as
+  pixel-free shared-memory descriptors instead of pickled buffers.
 
 The determinism contract — parallel output equals serial output
 bit-for-bit for every experiment — is enforced by
@@ -34,7 +38,14 @@ side-band only and cannot change any payload bit.
 from .cache import CacheStats, CaptureCache, fingerprint
 from .executor import FleetExecutor
 from .seeds import derive_rng, unit_entropy
-from .units import CaptureUnit, execute_unit, payload_to_raw, raw_to_payload
+from .units import (
+    CaptureUnit,
+    execute_unit,
+    execute_unit_group,
+    group_signature,
+    payload_to_raw,
+    raw_to_payload,
+)
 
 __all__ = [
     "CacheStats",
@@ -43,7 +54,9 @@ __all__ = [
     "FleetExecutor",
     "derive_rng",
     "execute_unit",
+    "execute_unit_group",
     "fingerprint",
+    "group_signature",
     "payload_to_raw",
     "raw_to_payload",
     "unit_entropy",

@@ -1,29 +1,40 @@
-"""The fleet executor: cache short-circuit, pool fan-out, serial fallback.
+"""The fleet executor: cache short-circuit, fused grouping, pool fan-out.
 
 ``FleetExecutor.run(units)`` resolves every unit through three stages:
 
 1. **Cache probe** — each unit's content-addressed key is looked up in
    the attached :class:`~repro.runner.cache.CaptureCache`; hits skip
    execution entirely.
-2. **Execution** — misses run through
-   :func:`~repro.runner.units.execute_unit`, either in-process
-   (``workers <= 1``, the serial fallback — zero new dependencies, zero
-   pickling) or across a ``ProcessPoolExecutor``.
+2. **Execution** — misses run through the capture path. In batched mode
+   (the default) pending units are first grouped by
+   :func:`~repro.runner.units.group_signature`, so all repeats of the
+   same (phone, scene, options) triple fuse into one vectorized
+   :func:`~repro.runner.units.execute_unit_group` pass; per-unit cache
+   keys are untouched because the fused outputs are split back into
+   per-unit payloads before reassembly. With ``workers > 1`` the groups
+   fan out across a ``ProcessPoolExecutor`` as pixel-free
+   :class:`~repro.runner.shm.GroupTask` descriptors — radiance travels
+   through a shared-memory input slab, decoded pixels come back through
+   a preallocated output slab, and only scalar metadata crosses the
+   pickle boundary. With ``batched=False`` every miss runs the legacy
+   per-unit path (:func:`~repro.runner.units.execute_unit`), serially or
+   via ``pool.map``.
 3. **Reassembly** — results return in input order, and fresh results
    are written back to the cache.
 
-Because every unit owns its RNG (see :mod:`repro.runner.seeds`) and
-``execute_unit`` is pure, stage 2's scheduling cannot influence any
-output bit — the property ``tests/runner/test_determinism.py`` locks in.
+Because every unit owns its RNG (see :mod:`repro.runner.seeds`) and the
+fused group path is bit-identical to per-unit execution by construction
+(``tests/runner/test_batch_invariance.py``), stage 2's mode — batched or
+not, pooled or serial, any grouping order — cannot influence any output
+bit.
 
 Observability: when a :mod:`repro.obs` observer is active, the whole
 ``run`` is wrapped in a ``fleet.run`` span, cache probes and executions
-feed the fleet counters, and pooled workers execute through
-:func:`~repro.runner.units.execute_unit_observed`, which serializes each
-worker's spans and metrics back with its payload so the parent's trace
-covers work done in other processes. Observation is side-band only —
-payloads (and therefore experiment outputs) are bit-identical with it on
-or off.
+feed the fleet counters, and pooled workers execute through the
+``*_observed`` variants, which serialize each worker's spans and metrics
+back with its results so the parent's trace covers work done in other
+processes. Observation is side-band only — payloads (and therefore
+experiment outputs) are bit-identical with it on or off.
 """
 
 from __future__ import annotations
@@ -31,13 +42,23 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import obs
 from .cache import CaptureCache
-from .units import CaptureUnit, execute_unit, execute_unit_observed, unit_cache_key
+from .shm import GroupTask, SharedArrayRef, run_group_task
+from .units import (
+    CaptureUnit,
+    execute_unit,
+    execute_unit_group,
+    execute_unit_observed,
+    group_signature,
+    photograph_output_shape,
+    unit_cache_key,
+)
 
 __all__ = ["FleetExecutor", "resolve_workers"]
 
@@ -81,15 +102,24 @@ class FleetExecutor:
     cache:
         Optional :class:`CaptureCache` consulted before execution and
         populated after.
+    batched:
+        When true (the default), pending units that share a
+        :func:`~repro.runner.units.group_signature` fuse into one
+        vectorized pass per group; when false, every unit runs the
+        legacy per-unit path. Both modes produce bit-identical payloads
+        — ``batched=False`` exists as the benchmark baseline and as the
+        conservative setting for online serving.
     """
 
     def __init__(
         self,
         workers: Optional[int] = 0,
         cache: Optional[CaptureCache] = None,
+        batched: bool = True,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.cache = cache
+        self.batched = batched
 
     def run(self, units: Sequence[CaptureUnit]) -> List[Dict[str, np.ndarray]]:
         """Execute every unit, in input order.
@@ -104,8 +134,8 @@ class FleetExecutor:
         Returns
         -------
         One ``{name: ndarray}`` payload per unit, positionally aligned
-        with ``units`` regardless of worker count, cache state, or
-        scheduling order.
+        with ``units`` regardless of worker count, cache state, batching
+        mode, or scheduling order.
         """
         units = list(units)
         with obs.span("fleet.run", units=len(units), workers=self.workers):
@@ -143,6 +173,23 @@ class FleetExecutor:
     def _execute(
         self, units: List[CaptureUnit]
     ) -> List[Dict[str, np.ndarray]]:
+        if not self.batched:
+            return self._execute_per_unit(units)
+        groups = _group_pending(units)
+        if self.workers <= 1 or len(units) <= 1:
+            # Serial fused path: one vectorized pass per group, straight
+            # into the active observer (if any), no serialization.
+            results: List[Optional[Dict[str, np.ndarray]]] = [None] * len(units)
+            for indices in groups:
+                payloads = execute_unit_group([units[i] for i in indices])
+                for i, payload in zip(indices, payloads):
+                    results[i] = payload
+            return results  # type: ignore[return-value]
+        return self._execute_groups_pooled(units, groups)
+
+    def _execute_per_unit(
+        self, units: List[CaptureUnit]
+    ) -> List[Dict[str, np.ndarray]]:
         if self.workers <= 1 or len(units) <= 1:
             # Serial fallback: hooks (if any) record straight into the
             # active observer, no serialization needed.
@@ -169,3 +216,196 @@ class FleetExecutor:
                 observer.metrics.merge(metrics_snapshot)
                 payloads.append(payload)
             return payloads
+
+    # ------------------------------------------------------------------
+    def _execute_groups_pooled(
+        self, units: List[CaptureUnit], groups: List[List[int]]
+    ) -> List[Dict[str, np.ndarray]]:
+        """Fan fused groups across the pool via shared-memory slabs.
+
+        Photograph groups ship as pixel-free :class:`GroupTask`
+        descriptors; units outside the fused path (no group signature)
+        fall back to the legacy per-unit ``pool.map``. Results are
+        scattered back to pending order, so callers see the same
+        alignment as every other execution mode.
+        """
+        results: List[Optional[Dict[str, np.ndarray]]] = [None] * len(units)
+        observer = obs.active()
+
+        fusable: List[List[int]] = []
+        legacy_indices: List[int] = []
+        for indices in groups:
+            first = units[indices[0]]
+            # Same condition under which group_signature is non-None;
+            # checked directly to avoid re-fingerprinting the radiance.
+            if first.kind == "photograph" and first.profile is not None:
+                fusable.append(indices)
+            else:
+                legacy_indices.extend(indices)
+
+        # Input slab: each distinct radiance buffer is written once, no
+        # matter how many groups (phones x repeats) reference it.
+        radiance_refs: Dict[int, Tuple[int, np.ndarray]] = {}
+        input_bytes = 0
+        for indices in fusable:
+            radiance = units[indices[0]].radiance
+            if id(radiance) not in radiance_refs:
+                contiguous = np.ascontiguousarray(radiance)
+                radiance_refs[id(radiance)] = (input_bytes, contiguous)
+                input_bytes += contiguous.nbytes
+
+        # Output slab: one (N, H, W, 3) float32 region per group whose
+        # decoded shape is statically known; the rest pickle their
+        # payloads back (the fallback path).
+        out_specs: List[Optional[Tuple[int, Tuple[int, int, int, int]]]] = []
+        output_bytes = 0
+        for indices in fusable:
+            shape = photograph_output_shape(units[indices[0]].profile)
+            if shape is None:
+                out_specs.append(None)
+                continue
+            height, width = shape
+            region = (len(indices), height, width, 3)
+            out_specs.append((output_bytes, region))
+            output_bytes += int(np.prod(region)) * 4
+
+        slabs: List[shared_memory.SharedMemory] = []
+        try:
+            input_slab = output_slab = None
+            if input_bytes:
+                input_slab = shared_memory.SharedMemory(
+                    create=True, size=input_bytes
+                )
+                slabs.append(input_slab)
+                for offset, contiguous in radiance_refs.values():
+                    view = np.ndarray(
+                        contiguous.shape,
+                        dtype=contiguous.dtype,
+                        buffer=input_slab.buf,
+                        offset=offset,
+                    )
+                    view[...] = contiguous
+                    del view
+            if output_bytes:
+                output_slab = shared_memory.SharedMemory(
+                    create=True, size=output_bytes
+                )
+                slabs.append(output_slab)
+
+            tasks: List[GroupTask] = []
+            for indices, out_spec in zip(fusable, out_specs):
+                first = units[indices[0]]
+                offset, contiguous = radiance_refs[id(first.radiance)]
+                out_ref = None
+                if out_spec is not None:
+                    out_offset, region = out_spec
+                    out_ref = SharedArrayRef(
+                        output_slab.name, out_offset, region, "float32"
+                    )
+                tasks.append(
+                    GroupTask(
+                        profile=first.profile,
+                        radiance=SharedArrayRef(
+                            input_slab.name,
+                            offset,
+                            contiguous.shape,
+                            str(contiguous.dtype),
+                        ),
+                        entropies=[tuple(units[i].entropy) for i in indices],
+                        options=dict(first.options),
+                        kind=first.kind,
+                        out=out_ref,
+                        observed=observer is not None,
+                    )
+                )
+
+            legacy_units = [units[i] for i in legacy_indices]
+            max_workers = min(self.workers, max(1, len(tasks) + len(legacy_units)))
+            with ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=_pool_context()
+            ) as pool:
+                futures = [pool.submit(run_group_task, task) for task in tasks]
+                if legacy_units:
+                    if observer is None:
+                        legacy_results = pool.map(execute_unit, legacy_units)
+                    else:
+                        legacy_results = pool.map(
+                            execute_unit_observed, legacy_units
+                        )
+                # Collect in submission order: the assembled trace (and
+                # the scatter below) is deterministic in structure even
+                # though worker timing is not.
+                for future, indices, task, out_spec in zip(
+                    futures, fusable, tasks, out_specs
+                ):
+                    metas, span_dicts, metrics_snapshot = future.result()
+                    if observer is not None and span_dicts is not None:
+                        observer.tracer.absorb(span_dicts)
+                        observer.metrics.merge(metrics_snapshot)
+                    if out_spec is None:
+                        for i, payload in zip(indices, metas):
+                            results[i] = payload
+                        continue
+                    out_offset, region = out_spec
+                    view = np.ndarray(
+                        region,
+                        dtype=np.float32,
+                        buffer=output_slab.buf,
+                        offset=out_offset,
+                    )
+                    for j, i in enumerate(indices):
+                        results[i] = {
+                            "pixels": view[j].copy(),
+                            "encoded_size": metas[j]["encoded_size"],
+                        }
+                    del view
+                if legacy_units:
+                    if observer is None:
+                        for i, payload in zip(legacy_indices, legacy_results):
+                            results[i] = payload
+                    else:
+                        for i, (payload, span_dicts, metrics_snapshot) in zip(
+                            legacy_indices, legacy_results
+                        ):
+                            observer.tracer.absorb(span_dicts)
+                            observer.metrics.merge(metrics_snapshot)
+                            results[i] = payload
+        finally:
+            for slab in slabs:
+                try:
+                    slab.close()
+                except BufferError:  # pragma: no cover - view outlived scatter
+                    pass
+                try:
+                    slab.unlink()
+                except FileNotFoundError:  # pragma: no cover - double clean
+                    pass
+
+        return results  # type: ignore[return-value]
+
+
+def _group_pending(units: List[CaptureUnit]) -> List[List[int]]:
+    """Partition pending units into fused groups, preserving order.
+
+    Units sharing a :func:`group_signature` land in one group (ordered by
+    first occurrence, members in submission order); units outside the
+    fused path get singleton groups. The grouping is a pure function of
+    unit *content*, so any submission order of the same multiset of units
+    yields the same group contents — the batch-invariance suite shuffles
+    submission order to prove the outputs don't care.
+    """
+    grouped: Dict[str, List[int]] = {}
+    order: List[List[int]] = []
+    radiance_memo: Dict[int, str] = {}
+    for i, unit in enumerate(units):
+        signature = group_signature(unit, _radiance_memo=radiance_memo)
+        if signature is None:
+            order.append([i])
+            continue
+        bucket = grouped.get(signature)
+        if bucket is None:
+            bucket = grouped[signature] = [i]
+            order.append(bucket)
+        else:
+            bucket.append(i)
+    return order

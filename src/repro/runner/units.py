@@ -28,16 +28,18 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import obs
+from ..codecs.jpeg import jpeg_roundtrip_batch
 from ..codecs.registry import decode_any, get_codec
 from ..devices.phone import Phone
 from ..devices.profiles import DeviceProfile
 from ..imaging.image import ImageBuffer, RawImage
 from ..isp.profiles import build_isp
+from ..isp.stages import Resize
 from .cache import fingerprint
 from .seeds import unit_entropy  # noqa: F401  (re-exported convenience)
 
@@ -45,6 +47,10 @@ __all__ = [
     "CaptureUnit",
     "execute_unit",
     "execute_unit_observed",
+    "execute_unit_group",
+    "execute_unit_group_observed",
+    "group_signature",
+    "photograph_output_shape",
     "unit_cache_key",
     "raw_to_payload",
     "payload_to_raw",
@@ -250,6 +256,149 @@ def _execute_unit_inner(unit: CaptureUnit) -> Dict[str, np.ndarray]:
         }
 
     raise ValueError(f"unknown unit kind {unit.kind!r}")  # pragma: no cover
+
+
+def group_signature(
+    unit: CaptureUnit, _radiance_memo: Optional[Dict[int, str]] = None
+) -> Optional[str]:
+    """Fingerprint of a unit's fusable inputs (everything but entropy).
+
+    Units sharing a signature are repeat captures of the same (phone,
+    scene, options) triple: their execution differs only in the per-unit
+    RNG stream, which is exactly what :func:`execute_unit_group`
+    vectorizes over. Returns ``None`` for kinds the fused path does not
+    cover (they stay on the per-unit path).
+
+    ``_radiance_memo`` lets a caller grouping many units amortize the
+    radiance digest across the (typical) case where every repeat of a
+    scene shares one buffer object. Keyed by ``id``; only valid while the
+    caller keeps the buffers alive, which is why it is caller-supplied
+    rather than a module-level cache.
+    """
+    if unit.kind != "photograph" or unit.profile is None:
+        return None
+    if _radiance_memo is None:
+        radiance_fp = fingerprint(unit.radiance)
+    else:
+        radiance_fp = _radiance_memo.get(id(unit.radiance))
+        if radiance_fp is None:
+            radiance_fp = fingerprint(unit.radiance)
+            _radiance_memo[id(unit.radiance)] = radiance_fp
+    return fingerprint(
+        (
+            unit.kind,
+            unit.profile,
+            radiance_fp,
+            sorted(unit.options.items(), key=lambda kv: kv[0]),
+        )
+    )
+
+
+def photograph_output_shape(profile: DeviceProfile) -> Optional[Tuple[int, int]]:
+    """The ``(H, W)`` of a photograph unit's decoded pixels, if static.
+
+    Derived from the profile ISP's Resize stage; the shared-memory
+    fan-out uses it to preallocate output slabs. ``None`` when the ISP
+    has no Resize stage (output then depends on the radiance size, and
+    the fan-out falls back to pickled returns).
+    """
+    phone = _phone_for(profile)
+    for stage in reversed(phone.isp.stages):
+        if isinstance(stage, Resize):
+            return (stage.height, stage.width)
+    return None
+
+
+def _group_is_fusable(units: Sequence[CaptureUnit]) -> bool:
+    first = units[0]
+    if first.kind != "photograph" or first.profile is None or first.radiance is None:
+        return False
+    for u in units[1:]:
+        if u.kind != "photograph":
+            return False
+        if u.profile is not first.profile and u.profile != first.profile:
+            return False
+        if u.radiance is not first.radiance and not np.array_equal(
+            u.radiance, first.radiance
+        ):
+            return False
+        if u.options != first.options:
+            return False
+    return True
+
+
+def execute_unit_group(units: Sequence[CaptureUnit]) -> List[Dict[str, np.ndarray]]:
+    """Run a group of same-(phone, scene) photograph units in one pass.
+
+    All units must share kind/profile/radiance/options and differ only in
+    seed entropy (i.e. be repeats of one capture); anything else falls
+    back to per-unit :func:`execute_unit`. Payload ``i`` is bit-identical
+    to ``execute_unit(units[i])`` — the sensor fans one shared exposure
+    front end out over the per-unit RNGs, the ISP develops the stack as
+    ``(N, H, W, C)``, and JPEG devices use the fused
+    :func:`~repro.codecs.jpeg.jpeg_roundtrip_batch` encode+reconstruct.
+    A single-unit group still wins: the fused roundtrip skips the decode
+    marker parse and Huffman walk entirely.
+    """
+    units = list(units)
+    if not units:
+        return []
+    if not _group_is_fusable(units):
+        return [execute_unit(u) for u in units]
+
+    first = units[0]
+    phone = _phone_for(first.profile)
+    with obs.span(
+        "unit.execute_group",
+        kind=first.kind,
+        device=first.profile.name,
+        units=len(units),
+    ):
+        rngs = [np.random.default_rng(tuple(u.entropy)) for u in units]
+        radiance = ImageBuffer(first.radiance)
+        raws = phone.capture_raw_batch(radiance, rngs)
+        images = phone.develop_batch(raws)
+
+        fmt = first.options.get("format_override")
+        codec = get_codec(str(fmt)) if fmt else phone.codec
+        quality = first.options.get("quality")
+        q = quality if quality is not None else phone.profile.save_quality
+        if codec.name == "jpeg":
+            pairs = jpeg_roundtrip_batch(images, quality=q)
+            for data, _img in pairs:
+                obs.count("codec.bytes_encoded", len(data))
+                obs.count("codec.encoded.jpeg")
+                obs.observe("codec.encoded_size", len(data))
+                obs.count("codec.bytes_decoded", len(data))
+        else:
+            # Non-JPEG codecs have no fused roundtrip; the batched
+            # sensor+ISP still carries the group, encode/decode loop here.
+            pairs = []
+            for img in images:
+                if codec.default_quality is None:
+                    data = codec.encode(img)
+                else:
+                    data = codec.encode(img, quality=q)
+                pairs.append((data, decode_any(data)))
+
+    payloads = [
+        {"pixels": img.pixels, "encoded_size": np.int64(len(data))}
+        for data, img in pairs
+    ]
+    for _ in units:
+        obs.count("fleet.units_executed")
+    return payloads
+
+
+def execute_unit_group_observed(units: Sequence[CaptureUnit]):
+    """Worker-side :func:`execute_unit_group` under a local observer.
+
+    Returns ``(payloads, span_dicts, metrics_snapshot)``; see
+    :func:`execute_unit_observed` for the merge protocol.
+    """
+    with obs.observed() as ob:
+        payloads = execute_unit_group(units)
+    return payloads, ob.tracer.to_dicts(), ob.metrics.snapshot()
 
 
 def execute_unit_observed(unit: CaptureUnit):

@@ -14,6 +14,7 @@ is sensor saturation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -104,4 +105,56 @@ class SensorNoiseModel:
             rows = rng.normal(0.0, self.row_noise, (h, 1)).astype(np.float32)
             noisy = noisy + rows
 
+        return noisy.astype(np.float32)
+
+    @tensor_contract("(H, W) float32, _ -> (N, ?, ?) float32")
+    def apply_batch(
+        self, signal: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Vectorized :meth:`apply` for repeat captures of one exposure.
+
+        One shared pre-noise ``signal`` is observed through ``len(rngs)``
+        independent temporal-noise draws. The fixed-pattern gain and the
+        shot-noise sigma depend only on ``signal``, so they are computed
+        once and broadcast; each generator then draws its components in
+        exactly the order :meth:`apply` would (shot, dark, read, row),
+        keeping item ``i`` bit-identical to ``apply(signal, rngs[i])``.
+        """
+        signal = np.asarray(signal, dtype=np.float32)
+        h, w = signal.shape
+        n = len(rngs)
+        if n == 0:
+            return np.empty((0, h, w), dtype=np.float32)
+
+        # Shared (rng-independent) terms, identical to the serial path.
+        noisy0 = signal * self.prnu_map(h, w)
+        electrons = np.clip(noisy0, 0.0, 1.0) * self.full_well_electrons
+        shot_sigma = np.sqrt(np.maximum(electrons, 0.0)) / self.full_well_electrons
+
+        # Per-generator draws, in the serial per-capture order so each
+        # item consumes its rng stream exactly as ``apply`` would.
+        shot_draws = np.empty((n, h, w), dtype=np.float32)
+        dark_draws = np.empty((n, h, w), dtype=np.float32) if self.dark_current > 0 else None
+        read_draws = np.empty((n, h, w), dtype=np.float32) if self.read_noise > 0 else None
+        row_draws = np.empty((n, h, 1), dtype=np.float32) if self.row_noise > 0 else None
+        dark_sigma = (
+            np.sqrt(self.dark_current * self.full_well_electrons) / self.full_well_electrons
+        )
+        for i, rng in enumerate(rngs):
+            shot_draws[i] = rng.normal(0.0, 1.0, (h, w)).astype(np.float32)
+            if dark_draws is not None:
+                dark_draws[i] = rng.normal(0.0, dark_sigma, (h, w)).astype(np.float32)
+            if read_draws is not None:
+                read_draws[i] = rng.normal(0.0, self.read_noise, (h, w)).astype(np.float32)
+            if row_draws is not None:
+                row_draws[i] = rng.normal(0.0, self.row_noise, (h, 1)).astype(np.float32)
+
+        # Batched arithmetic with the serial path's operand association.
+        noisy = noisy0[None, :, :] + shot_draws * shot_sigma[None, :, :]
+        if dark_draws is not None:
+            noisy = noisy + self.dark_current + dark_draws
+        if read_draws is not None:
+            noisy = noisy + read_draws
+        if row_draws is not None:
+            noisy = noisy + row_draws
         return noisy.astype(np.float32)

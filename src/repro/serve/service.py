@@ -151,6 +151,14 @@ class ServeConfig:
     workers:
         :class:`FleetExecutor` process count for the capture fan-out
         (``0`` = serial in-thread — output-identical either way).
+    batched:
+        Opt-in: route each executor batch through the fused
+        same-(phone, scene) group path
+        (:func:`repro.runner.units.execute_unit_group`). Off by default
+        for serving — the conservative per-unit path keeps per-request
+        latency attribution trivial — and bit-identical when on, which
+        ``tests/serve/test_batched.py`` pins against
+        :meth:`serial_reference`.
     window_s:
         Streaming-metrics window length; ``0`` disables the periodic
         window task (windows then roll only at :meth:`drain`).
@@ -169,6 +177,7 @@ class ServeConfig:
     batch_window_s: float = 0.05
     request_timeout_s: float = 30.0
     workers: int = 0
+    batched: bool = False
     window_s: float = 5.0
     model: str = "quick"
 
@@ -303,7 +312,9 @@ class IngestService:
 
                 model = fleet_model()
         self.runtime = DeviceRuntime(model)
-        self.executor = FleetExecutor(workers=config.workers, cache=cache)
+        self.executor = FleetExecutor(
+            workers=config.workers, cache=cache, batched=config.batched
+        )
 
         # Streaming metrics: events land in the current window; the
         # cumulative registry is built purely by merging window
@@ -482,6 +493,7 @@ class IngestService:
                 "queue_capacity": self.config.queue_capacity,
                 "batch_max": self.config.batch_max,
                 "workers": self.config.workers,
+                "batched": self.config.batched,
                 "model": self.config.model,
             },
         }

@@ -1,0 +1,105 @@
+"""Batched ISP development is bit-identical to serial development.
+
+``ISPPipeline.process_batch`` stacks the raw mosaics on a leading batch
+axis and runs every stage's ``process_batch``; each must reproduce the
+per-item ``process`` byte for byte. Custom stages without an override
+inherit the split -> process -> join fallback, which is correct by
+construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices import capture_fleet
+from repro.devices.phone import Phone
+from repro.imaging.image import ImageBuffer, RawImage
+from repro.isp.pipeline import ISPPipeline
+from repro.isp.stages import BatchISPState, ISPStage
+
+
+@pytest.fixture(scope="module")
+def raws_by_profile():
+    """Four repeat captures per fleet profile (distinct noise draws)."""
+    from scipy import ndimage
+
+    rng = np.random.default_rng(17)
+    field = ndimage.gaussian_filter(rng.random((48, 48, 3)), (3, 3, 0))
+    field = (field - field.min()) / (field.max() - field.min())
+    radiance = ImageBuffer(field.astype(np.float32))
+    out = {}
+    for profile in capture_fleet():
+        phone = Phone(profile)
+        out[profile.name] = (
+            phone,
+            [phone.capture_raw(radiance, np.random.default_rng((4, r))) for r in range(4)],
+        )
+    return out
+
+
+@pytest.mark.parametrize("name", [p.name for p in capture_fleet()])
+def test_process_batch_matches_serial(name, raws_by_profile):
+    phone, raws = raws_by_profile[name]
+    serial = [phone.develop(raw) for raw in raws]
+    batch = phone.develop_batch(raws)
+    assert len(batch) == len(serial)
+    for one, many in zip(serial, batch):
+        assert one.pixels.dtype == many.pixels.dtype
+        assert one.pixels.tobytes() == many.pixels.tobytes()
+
+
+def test_process_batch_empty(raws_by_profile):
+    phone, _ = raws_by_profile[capture_fleet()[0].name]
+    assert phone.isp.process_batch([]) == []
+
+
+def test_batch_state_split_join_roundtrip(raws_by_profile):
+    _, raws = raws_by_profile[capture_fleet()[0].name]
+    state = BatchISPState(
+        raws=raws, mosaic=np.stack([r.mosaic.astype("float32") for r in raws])
+    )
+    rejoined = BatchISPState.join(state.split())
+    assert rejoined.mosaic.tobytes() == state.mosaic.tobytes()
+    assert len(rejoined) == len(state)
+
+
+class _NegateStage(ISPStage):
+    """A custom stage with no process_batch override (fallback path)."""
+
+    name = "negate"
+
+    def process(self, state):
+        rgb = state.require_rgb()
+        state.rgb = np.float32(1.0) - rgb
+        return state
+
+
+def test_custom_stage_uses_fallback(raws_by_profile):
+    phone, raws = raws_by_profile[capture_fleet()[0].name]
+    stages = list(phone.isp.stages) + [_NegateStage()]
+    pipeline = ISPPipeline(stages, name="custom_with_negate")
+    serial = [pipeline.process(raw) for raw in raws]
+    batch = pipeline.process_batch(raws)
+    for one, many in zip(serial, batch):
+        assert one.pixels.tobytes() == many.pixels.tobytes()
+
+
+def test_mixed_raw_geometry_falls_back():
+    """Batches mixing black/white levels still develop correctly."""
+    profile = capture_fleet()[0]
+    phone = Phone(profile)
+    rng = np.random.default_rng(2)
+    mosaics = [rng.random((16, 16)).astype(np.float32) for _ in range(2)]
+    raws = [
+        RawImage(
+            mosaic=m,
+            pattern="RGGB",
+            black_level=bl,
+            white_level=1023,
+            wb_gains=(2.0, 1.0, 1.5),
+        )
+        for m, bl in zip(mosaics, (64, 32))  # non-uniform black level
+    ]
+    serial = [phone.isp.process(raw) for raw in raws]
+    batch = phone.isp.process_batch(raws)
+    for one, many in zip(serial, batch):
+        assert one.pixels.tobytes() == many.pixels.tobytes()

@@ -1,0 +1,64 @@
+"""generate_fleet() populations drop into the lab experiments.
+
+ROADMAP follow-up to the fleet package: the synthetic populations sample
+real ``DeviceProfile`` objects, so ``fleet_size=`` on an experiment must
+behave exactly like passing ``phones=generate_fleet(fleet_size, seed)``.
+"""
+
+import pytest
+
+from repro.fleet.population import generate_fleet
+from repro.lab import EndToEndExperiment
+from repro.lab.experiments import RawCaptureBank, RawVsJpegExperiment
+
+
+class TestFleetSizeWiring:
+    def test_fleet_size_equals_explicit_population(self, tiny_model):
+        by_size = EndToEndExperiment(
+            fleet_size=5, model=tiny_model, angles=(0.0,), seed=3
+        )
+        explicit = EndToEndExperiment(
+            phones=generate_fleet(5, seed=3), model=tiny_model, angles=(0.0,), seed=3
+        )
+        assert [p.name for p in by_size.profiles] == [
+            p.name for p in explicit.profiles
+        ]
+        a = by_size.run(per_class=1)
+        b = explicit.run(per_class=1)
+        assert list(a.records) == list(b.records)
+
+    def test_default_is_paper_fleet(self, tiny_model):
+        from repro.devices import capture_fleet
+
+        experiment = EndToEndExperiment(model=tiny_model)
+        assert [p.name for p in experiment.profiles] == [
+            p.name for p in capture_fleet()
+        ]
+
+    def test_phones_and_fleet_size_are_exclusive(self, tiny_model):
+        with pytest.raises(ValueError):
+            EndToEndExperiment(
+                phones=generate_fleet(2), fleet_size=2, model=tiny_model
+            )
+
+    def test_raw_bank_filters_population_to_raw_capable(self):
+        population = generate_fleet(12, seed=1)
+        raw_capable = [p for p in population if p.supports_raw]
+        if not raw_capable:
+            with pytest.raises(ValueError):
+                RawCaptureBank.collect(per_class=1, seed=1, fleet_size=12)
+            return
+        bank = RawCaptureBank.collect(per_class=1, seed=1, fleet_size=12)
+        assert set(bank.phone_names) == {p.name for p in raw_capable}
+
+    def test_raw_vs_jpeg_accepts_population(self, tiny_model):
+        population = generate_fleet(12, seed=1)
+        raw_capable = [p for p in population if p.supports_raw]
+        if not raw_capable:
+            with pytest.raises(ValueError):
+                RawVsJpegExperiment(model=tiny_model, seed=1, fleet_size=12)
+            return
+        experiment = RawVsJpegExperiment(model=tiny_model, seed=1, fleet_size=12)
+        assert [p.name for p in experiment.profiles] == [
+            p.name for p in raw_capable
+        ]

@@ -44,11 +44,13 @@ class TestBitIdentical:
                 cache=CaptureCache(tmp_path / "fleet"),
             ).run(per_class=1)
         assert _records(bare) == _records(traced)
-        # The worker spans made it back across the pool boundary.
+        # The worker spans made it back across the pool boundary. The
+        # batched executor runs photograph units through the fused group
+        # path, so the per-unit spans appear under their group names.
         names = {span.name for span in ob.tracer.finished()}
         assert "fleet.run" in names
-        assert "unit.execute" in names
-        assert "isp.process" in names
+        assert "unit.execute_group" in names
+        assert "isp.process_batch" in names
         counters = ob.metrics.snapshot()["counters"]
         assert counters["fleet.units_executed"] == counters["fleet.units_submitted"]
 
